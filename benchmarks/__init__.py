@@ -1,0 +1,1 @@
+"""Benchmark package (so conftest helpers import as ``benchmarks.conftest``)."""

@@ -1,0 +1,42 @@
+"""Benchmark-suite configuration.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SCALE``   — cell-count divisor for the 19 blocks
+  (default 400; larger = smaller/faster designs);
+* ``REPRO_BENCH_EPISODES`` — RL training episode cap per design
+  (default 12; the paper trains to a 3-iteration TNS plateau, which
+  usually stops well before the cap);
+* ``REPRO_BENCH_BLOCKS``  — comma-separated block subset for the Table-II
+  sweep (default: all 19).
+
+Each benchmark prints the regenerated table/figure through
+:mod:`repro.benchsuite.report`, so ``pytest benchmarks/ --benchmark-only -s``
+shows paper-comparable output alongside the timing stats.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchsuite.table2 import Table2Config
+
+
+def bench_episodes() -> int:
+    return int(os.environ.get("REPRO_BENCH_EPISODES", 12))
+
+
+def bench_blocks() -> list:
+    from repro.benchsuite.designs import BLOCKS, get_block
+
+    names = os.environ.get("REPRO_BENCH_BLOCKS", "")
+    if not names:
+        return list(BLOCKS)
+    return [get_block(n.strip()) for n in names.split(",") if n.strip()]
+
+
+@pytest.fixture(scope="session")
+def table2_config() -> Table2Config:
+    return Table2Config(max_episodes=bench_episodes())

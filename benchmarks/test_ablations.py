@@ -1,0 +1,60 @@
+"""Benchmarks: ablations of the paper's design choices (DESIGN.md A1–A3).
+
+A1 — over-fix vs under-fix (§III-A): margining selected endpoints to WNS
+     (over-fix) should beat the rejected negative-margin variant.
+A2 — overlap threshold ρ (§III-C): sweep ρ; smaller ρ masks more
+     aggressively and yields smaller selections.
+A3 — selection baselines: RL-CCD against none / worst-slack / random /
+     greedy-overlap selections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite.ablations import (
+    overfix_vs_underfix,
+    rho_sweep,
+    selection_baselines,
+)
+from repro.benchsuite.report import format_ablation
+
+
+def test_overfix_vs_underfix(benchmark, table2_config):
+    points = benchmark.pedantic(
+        lambda: overfix_vs_underfix(config=table2_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_ablation("A1 — over-fix vs under-fix (block17)", points))
+    by_label = {p.label: p for p in points}
+    over = next(v for k, v in by_label.items() if "over-fix" in k)
+    under = next(v for k, v in by_label.items() if "under-fix" in k)
+    # Paper §III-A: over-fix works significantly better than under-fix.
+    assert over.tns >= under.tns
+
+
+def test_rho_sweep(benchmark, table2_config):
+    points = benchmark.pedantic(
+        lambda: rho_sweep(config=table2_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_ablation("A2 — overlap threshold sweep (block5)", points))
+    sizes = [p.num_selected for p in points]
+    # Selection size grows monotonically with rho (weaker masking).
+    assert sizes == sorted(sizes)
+    # rho=1.0 disables masking: everything gets selected.
+    assert points[-1].num_selected >= points[0].num_selected
+
+
+def test_selection_baselines(benchmark, table2_config):
+    points = benchmark.pedantic(
+        lambda: selection_baselines(config=table2_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_ablation("A3 — selection baselines (block5)", points))
+    by_label = {p.label: p for p in points}
+    rl = next(v for k, v in by_label.items() if "RL-CCD" in k)
+    default = next(v for k, v in by_label.items() if "default" in k)
+    # With the deployment fallback, RL-CCD can never ship a selection worse
+    # than the native flow.
+    assert rl.tns >= default.tns - 1e-9

@@ -1,0 +1,51 @@
+"""Benchmarks: the paper's §V future-work extensions (DESIGN.md A4/A5).
+
+A4 — overlap-masking variants with PPA quantification: the paper says
+     "improve the overlap masking technique and quantify its impact on the
+     achieved PPA values"; this bench compares fixed-ρ (paper) against
+     size-adaptive and decaying thresholds on timing, power and area.
+A5 — full-flow optimization: per-stage re-prioritization across a
+     placement → CTS → routing refinement pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite.ablations import full_flow_comparison, masking_strategies
+from repro.benchsuite.report import format_ppa
+
+
+def test_masking_strategy_ppa(benchmark, table2_config):
+    points = benchmark.pedantic(
+        lambda: masking_strategies(config=table2_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_ppa("A4 — masking strategies, PPA impact (block5)", points))
+    labels = [p.label for p in points]
+    assert any("fixed" in l for l in labels)
+    assert any("size-adaptive" in l for l in labels)
+    assert any("decaying" in l for l in labels)
+    # The strategies must actually select differently (else the ablation
+    # says nothing) and keep power within a sane envelope of each other.
+    sizes = {p.num_selected for p in points}
+    assert len(sizes) > 1
+    powers = [p.power for p in points]
+    assert max(powers) <= min(powers) * 1.05
+
+
+def test_full_flow_comparison(benchmark, table2_config):
+    points = benchmark.pedantic(
+        lambda: full_flow_comparison(config=table2_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_ppa("A5 — full-flow optimization (block5)", points))
+    by_label = {p.label: p for p in points}
+    native = next(v for k, v in by_label.items() if "native" in k)
+    # All flows complete and end with real numbers; prioritized variants
+    # report their per-stage selections.
+    for p in points:
+        assert p.area > 0
+        assert p.power > 0
+    prioritized = [p for p in points if p is not native]
+    assert all(p.num_selected > 0 for p in prioritized)

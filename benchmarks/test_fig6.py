@@ -1,0 +1,32 @@
+"""Benchmark: regenerate paper Fig. 6 — transfer learning on block19.
+
+The paper pre-trains the EP-GNN on other same-technology designs, attaches
+a fresh encoder/decoder, and shows the transferred agent converging to
+comparable TNS in far fewer training iterations than from-scratch training.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite.figures import fig6_transfer
+from repro.benchsuite.report import format_fig6
+
+
+def test_fig6_block19_transfer(benchmark, table2_config):
+    result = benchmark.pedantic(
+        lambda: fig6_transfer(config=table2_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig6(result))
+    assert result.design == "block19"
+    assert result.pretrain_designs, "EP-GNN must be pre-trained on sources"
+    # Shape: the transferred agent reaches (at least) comparable best TNS...
+    scratch_best = float(result.scratch_curve[-1])
+    transfer_best = float(result.transfer_curve[-1])
+    assert transfer_best >= scratch_best - abs(scratch_best) * 0.25
+    # ...and reaches scratch-final quality at least as fast (the paper's
+    # "comparable results in a much faster convergence rate").
+    s_eps, t_eps = result.episodes_to_reach(scratch_best)
+    if t_eps:  # transfer reached scratch quality at all
+        assert t_eps <= s_eps + 2

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Full-flow optimization with per-stage re-prioritization (paper §V).
+
+The paper's future work: "expand RL-CCD for full-flow optimization".  This
+example chains placement → CTS-refinement → routing-refinement stages
+(each tightening wire parasitics, as extraction replaces estimates) and
+compares three flows from the identical start state:
+
+* the native full flow (no prioritization at any stage);
+* worst-slack prioritization at every stage;
+* greedy-overlap prioritization (the agent's masking loop with a
+  worst-first policy) at every stage.
+
+It also quantifies the PPA impact: final TNS (performance), total power,
+and total cell area.
+
+Run:  python examples/full_flow.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClockModel,
+    PlacementConfig,
+    TimingAnalyzer,
+    choose_clock_period,
+    place_design,
+    quick_design,
+    report_power,
+    restore_netlist_state,
+    select_greedy_overlap,
+    select_worst_slack,
+    snapshot_netlist_state,
+)
+from repro.ccd.fullflow import default_stages, run_full_flow
+
+
+def main() -> None:
+    netlist = quick_design(name="fullflow", n_cells=700, seed=23)
+    place_design(netlist, PlacementConfig(seed=1))
+    analyzer = TimingAnalyzer(netlist)
+    nominal = netlist.library.default_clock_period
+    report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))
+    period = choose_clock_period(report, nominal, 0.40)
+    snapshot = snapshot_netlist_state(netlist)
+    stages = default_stages(period)
+
+    flows = {
+        "native full flow": None,
+        "worst-slack each stage": lambda env: select_worst_slack(env, 8),
+        "greedy-overlap each stage": select_greedy_overlap,
+    }
+
+    print(f"design {netlist.name}, period {period:.3f} ns, stages: "
+          f"{' -> '.join(s.name for s in stages)}\n")
+    print(f"{'flow':>26} | {'final TNS':>9} | {'NVE':>4} | "
+          f"{'power mW':>9} | {'area um2':>9} | {'#sel/stage':>12}")
+
+    for label, selector in flows.items():
+        result = run_full_flow(netlist, stages, selector)
+        final_clock = result.stage_results[-1].clock
+        power = report_power(netlist, final_clock)
+        area = netlist.total_cell_area()
+        counts = "/".join(str(c) for c in result.selection_counts())
+        print(
+            f"{label:>26} | {result.final.tns:>9.3f} | {result.final.nve:>4} "
+            f"| {power.total:>9.3f} | {area:>9.1f} | {counts:>12}"
+        )
+        restore_netlist_state(netlist, snapshot)
+
+    print(
+        "\nEach stage tightens parasitics (placement estimates -> extraction),"
+        "\nso the violating set shifts and per-stage re-prioritization has"
+        "\nfresh decisions to make — the richer problem the paper points to."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Endpoint strategy-sensitivity analysis (the problem behind the paper).
+
+The paper's §I observation — "not all violating endpoints are equal" — made
+inspectable: classify every violating endpoint of a design by whether the
+clock path (useful skew) or the data path (sizing/buffering) can fix it,
+then compare three flows: the native one, the transparent clock-sensitive
+heuristic built on this analysis, and the analysis printed next to what an
+RL-trained agent actually selects.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClockModel,
+    EndpointSelectionEnv,
+    FlowConfig,
+    NUM_FEATURES,
+    PlacementConfig,
+    RLCCDPolicy,
+    TimingAnalyzer,
+    TrainConfig,
+    choose_clock_period,
+    place_design,
+    quick_design,
+    restore_netlist_state,
+    run_flow,
+    snapshot_netlist_state,
+    train_rlccd,
+)
+from repro.analysis import analyze_sensitivity, select_clock_sensitive
+
+
+def main() -> None:
+    # block17 is one of the suite's strong prioritization responders
+    # (Table II: ~+44% TNS improvement) — a design where the clock-vs-data
+    # structure actually matters.
+    from repro.benchsuite import build_design, get_block
+
+    design = build_design(get_block("block17"))
+    netlist, period = design.netlist, design.clock_period
+
+    # --- 1. the analysis ------------------------------------------------ #
+    sens = analyze_sensitivity(netlist, period)
+    print(sens)
+    counts = sens.counts()
+    print(
+        f"\n'clock' endpoints are the agent's best targets; 'stuck' ones "
+        f"need a different recipe entirely ({counts['stuck']} here).\n"
+    )
+
+    # --- 2. flows -------------------------------------------------------- #
+    snapshot = snapshot_netlist_state(netlist)
+    flow_config = FlowConfig(clock_period=period)
+
+    default = run_flow(netlist, flow_config)
+    restore_netlist_state(netlist, snapshot)
+
+    heuristic_sel = select_clock_sensitive(netlist, period, max_count=12)
+    heuristic = run_flow(netlist, flow_config, prioritized_endpoints=heuristic_sel)
+    restore_netlist_state(netlist, snapshot)
+
+    env = EndpointSelectionEnv(netlist, period, rho=0.3)
+    policy = RLCCDPolicy(NUM_FEATURES, rng=0)
+    training = train_rlccd(
+        policy, env, flow_config, TrainConfig(max_episodes=12, seed=1)
+    )
+    restore_netlist_state(netlist, snapshot)
+    rl = run_flow(netlist, flow_config, prioritized_endpoints=training.best_selection)
+    restore_netlist_state(netlist, snapshot)
+
+    print(f"{'flow':>28} | {'TNS':>9} | {'NVE':>4} | {'#selected':>9}")
+    for label, result, n_sel in (
+        ("native (no selection)", default, 0),
+        ("clock-sensitive heuristic", heuristic, len(heuristic_sel)),
+        ("RL-CCD (trained)", rl, len(training.best_selection)),
+    ):
+        print(
+            f"{label:>28} | {result.final.tns:>9.3f} | {result.final.nve:>4} "
+            f"| {n_sel:>9}"
+        )
+
+    overlap = set(training.best_selection) & set(heuristic_sel)
+    print(
+        f"\nRL selection ∩ heuristic selection: {len(overlap)} endpoints. "
+        f"The static analysis names the *candidates*; which subset actually "
+        f"pays off depends on contention between endpoints (shared launch "
+        f"slack, attention-window displacement, data-path budget flow) — "
+        f"the global interactions the trained agent optimizes and a "
+        f"per-endpoint classification cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim for offline environments.
+
+``pip install -e .`` needs the ``wheel`` package to build an editable
+wheel; on machines without it (or without network access to fetch it),
+install with the legacy path instead::
+
+    python setup.py develop
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""The RL-CCD agent: environment, policy, REINFORCE trainer, baselines."""
+
+from repro.agent.baselines import (
+    select_greedy_overlap,
+    select_none,
+    select_random,
+    select_worst_slack,
+)
+from repro.agent.env import EndpointSelectionEnv, SelectionState
+from repro.agent.policy import RLCCDPolicy, Trajectory
+from repro.agent.reinforce import (
+    EpisodeRecord,
+    TrainConfig,
+    TrainingResult,
+    train_rlccd,
+)
+from repro.agent.transfer import (
+    load_pretrained_epgnn,
+    pretrain_on_designs,
+    save_pretrained_epgnn,
+    transfer_epgnn,
+)
+
+__all__ = [
+    "EndpointSelectionEnv",
+    "SelectionState",
+    "RLCCDPolicy",
+    "Trajectory",
+    "TrainConfig",
+    "TrainingResult",
+    "EpisodeRecord",
+    "train_rlccd",
+    "select_none",
+    "select_worst_slack",
+    "select_random",
+    "select_greedy_overlap",
+    "save_pretrained_epgnn",
+    "load_pretrained_epgnn",
+    "transfer_epgnn",
+    "pretrain_on_designs",
+]

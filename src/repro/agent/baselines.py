@@ -1,0 +1,55 @@
+"""Non-learning endpoint-selection baselines.
+
+Used by the A3 ablation bench to position RL-CCD against the obvious
+heuristics, and by tests as cheap stand-ins for the agent:
+
+* :func:`select_none` — the default tool flow (empty prioritization);
+* :func:`select_worst_slack` — margin-style prioritization: the K worst
+  violating endpoints;
+* :func:`select_random` — uniform random violating endpoints;
+* :func:`select_greedy_overlap` — worst-first selection that honours the
+  same ρ fan-in-cone masking as the agent (i.e. RL-CCD's loop with the
+  policy replaced by "pick the worst apparent endpoint").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.agent.env import EndpointSelectionEnv
+from repro.utils.rng import SeedLike, as_rng
+
+
+def select_none(env: EndpointSelectionEnv) -> List[int]:
+    """No prioritization: the reference tool's native behaviour."""
+    return []
+
+
+def select_worst_slack(env: EndpointSelectionEnv, k: int) -> List[int]:
+    """The K worst violating endpoints (env order is already worst-first)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return env.endpoints[:k]
+
+
+def select_random(env: EndpointSelectionEnv, k: int, rng: SeedLike = None) -> List[int]:
+    """K uniformly random violating endpoints."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    rng = as_rng(rng)
+    k = min(k, env.num_endpoints)
+    positions = rng.choice(env.num_endpoints, size=k, replace=False)
+    return [env.endpoints[int(p)] for p in positions]
+
+
+def select_greedy_overlap(env: EndpointSelectionEnv) -> List[int]:
+    """Worst-first selection under the agent's own overlap-masking loop."""
+    state = env.reset()
+    while not state.done:
+        # Canonical order is worst slack first, so the first valid position
+        # is the worst remaining endpoint.
+        position = int(np.nonzero(state.valid)[0][0])
+        state = env.step(position)
+    return env.selected_cells()

@@ -1,0 +1,164 @@
+"""RL-CCD policy: EP-GNN + LSTM encoder + attention decoder (paper Fig. 4).
+
+One RL time step:
+
+1. EP-GNN re-encodes the netlist (the "RL masked" feature column changed),
+   producing endpoint embeddings ``F_EP`` — the state ``s_t``;
+2. the LSTM encoder consumes the embedding of the previously selected
+   endpoint, updating its hidden state; ``h_t`` becomes the query ``q_t``;
+3. the pointer-attention decoder scores every endpoint against ``q_t``,
+   masked softmax turns scores into the selection distribution ``P_t``;
+4. an endpoint is sampled (training) or argmaxed (greedy evaluation), the
+   environment applies overlap masking, and the loop continues until every
+   endpoint is selected or masked.
+
+The log-probabilities of the taken actions stay connected to the autograd
+tape across the whole trajectory, so one ``backward()`` on the REINFORCE
+loss trains all three components jointly ({θ_gnn, θ_LSTM, θ_attn}).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.agent.env import EndpointSelectionEnv
+from repro.gnn.epgnn import EMBED_DIM, EPGNN
+from repro.nn.attention import PointerAttention
+from repro.nn.functional import masked_log_prob
+from repro.nn.layers import Module
+from repro.nn.recurrent import LSTMCell
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class Trajectory:
+    """One complete selection episode (τ in the paper)."""
+
+    actions: List[int] = field(default_factory=list)  # canonical EP positions
+    action_cells: List[int] = field(default_factory=list)  # netlist cell ids
+    log_probs: List[Tensor] = field(default_factory=list)  # connected to tape
+    probabilities: List[np.ndarray] = field(default_factory=list)
+    entropies: List[Tensor] = field(default_factory=list)  # tape-connected
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def total_log_prob(self) -> Tensor:
+        """Σ_t log π(a_t | s_t) as a single differentiable scalar."""
+        if not self.log_probs:
+            raise ValueError("empty trajectory has no log-probability")
+        total = self.log_probs[0]
+        for lp in self.log_probs[1:]:
+            total = total + lp
+        return total
+
+    def total_entropy(self) -> Tensor:
+        """Σ_t H(P_t) — available when the rollout recorded entropies."""
+        if not self.entropies:
+            raise ValueError(
+                "rollout was not run with with_entropy=True; no entropy terms"
+            )
+        total = self.entropies[0]
+        for h in self.entropies[1:]:
+            total = total + h
+        return total
+
+
+class RLCCDPolicy(Module):
+    """The full agent: {θ_gnn, θ_LSTM, θ_attn} under one parameter tree."""
+
+    def __init__(
+        self,
+        in_features: int,
+        embed_dim: int = EMBED_DIM,
+        lstm_hidden: int = EMBED_DIM,
+        attn_hidden: int = EMBED_DIM,
+        encoder_type: str = "lstm",
+        rng: SeedLike = None,
+    ):
+        """``encoder_type``: "lstm" (paper Eq. 4) or "gru" (the lighter
+        encoder-architecture ablation)."""
+        super().__init__()
+        rng = as_rng(rng)
+        self.in_features = in_features
+        self.embed_dim = embed_dim
+        self.encoder_type = encoder_type
+        self.epgnn = self.register_module("epgnn", EPGNN(in_features, embed_dim=embed_dim, rng=rng))
+        if encoder_type == "lstm":
+            encoder = LSTMCell(embed_dim, lstm_hidden, rng=rng)
+        elif encoder_type == "gru":
+            from repro.nn.recurrent import GRUCell
+
+            encoder = GRUCell(embed_dim, lstm_hidden, rng=rng)
+        else:
+            raise ValueError(
+                f"encoder_type must be 'lstm' or 'gru', got {encoder_type!r}"
+            )
+        self.encoder = self.register_module("encoder", encoder)
+        self.decoder = self.register_module(
+            "decoder", PointerAttention(embed_dim, lstm_hidden, attn_hidden, rng=rng)
+        )
+
+    def rollout(
+        self,
+        env: EndpointSelectionEnv,
+        rng: SeedLike = None,
+        greedy: bool = False,
+        max_steps: Optional[int] = None,
+        with_entropy: bool = False,
+    ) -> Trajectory:
+        """Run one full selection episode (Algorithm 1 lines 3–13).
+
+        ``with_entropy=True`` additionally records tape-connected policy
+        entropies per step (for entropy-regularized training).
+        """
+        rng = as_rng(rng)
+        state = env.reset()
+        trajectory = Trajectory()
+        h, c = self.encoder.initial_state()
+        prev_embedding = Tensor(np.zeros(self.embed_dim))  # F_{a_0} = 0
+        step_limit = max_steps if max_steps is not None else env.num_endpoints
+
+        while not state.done and len(trajectory) < step_limit:
+            features = env.features()
+            embeddings = self.epgnn(features, env.graph, env.cones)
+            h, c = self.encoder(prev_embedding, (h, c))
+            scores = self.decoder.scores(embeddings, h)
+            probs = _masked_probabilities(scores.data, state.valid)
+            if greedy:
+                action = int(np.argmax(np.where(state.valid, probs, -1.0)))
+            else:
+                action = int(rng.choice(len(probs), p=probs))
+            log_prob = masked_log_prob(scores, state.valid, action)
+
+            trajectory.actions.append(action)
+            trajectory.action_cells.append(env.endpoints[action])
+            trajectory.log_probs.append(log_prob)
+            trajectory.probabilities.append(probs)
+            if with_entropy:
+                from repro.nn.functional import entropy, masked_softmax
+
+                trajectory.entropies.append(
+                    entropy(masked_softmax(scores, state.valid))
+                )
+
+            prev_embedding = embeddings[action]
+            state = env.step(action)
+        return trajectory
+
+
+def _masked_probabilities(scores: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Plain-numpy masked softmax for sampling (no tape needed)."""
+    if not np.asarray(valid, dtype=bool).any():
+        raise ValueError("no valid endpoint to sample")
+    masked = np.where(valid, scores, -np.inf)
+    shifted = masked - masked.max()
+    exp = np.exp(shifted, where=np.isfinite(shifted), out=np.zeros_like(shifted))
+    total = exp.sum()
+    if total <= 0:
+        raise ValueError("no valid endpoint to sample")
+    return exp / total

@@ -1,0 +1,15 @@
+"""Design-analysis tools: endpoint strategy-sensitivity classification."""
+
+from repro.analysis.sensitivity import (
+    EndpointSensitivity,
+    SensitivityReport,
+    analyze_sensitivity,
+    select_clock_sensitive,
+)
+
+__all__ = [
+    "EndpointSensitivity",
+    "SensitivityReport",
+    "analyze_sensitivity",
+    "select_clock_sensitive",
+]

@@ -1,0 +1,121 @@
+"""Full-flow optimization — the paper's stated future work (§V).
+
+"In the future, we aim to expand RL-CCD for full-flow optimization."  This
+extension chains several optimization *stages* the way a real PD flow does
+(placement → CTS-refinement → routing-refinement), where each stage
+
+1. tightens wire parasitics (``parasitic_growth``: extracted parasitics are
+   worse than placement-stage estimates, so timing degrades at stage entry),
+2. optionally re-runs endpoint prioritization against the *current* timing
+   state (the per-stage selector — an RL agent, a baseline heuristic, or
+   nothing for the native flow), and
+3. runs the CCD placement-optimization recipe of :func:`repro.ccd.flow.run_flow`.
+
+Because each stage's violating-endpoint set differs (earlier fixes hold,
+parasitics shift criticality), per-stage re-prioritization is a strictly
+richer problem than the single-shot placement-stage selection of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.agent.env import EndpointSelectionEnv
+from repro.ccd.flow import FlowConfig, FlowResult, run_flow
+from repro.netlist.core import Netlist
+from repro.timing.metrics import TimingSummary
+from repro.utils.validation import check_non_negative
+
+# A selector receives the stage's selection environment and returns endpoint
+# cell indices to prioritize.  ``None`` means the native flow (no selection).
+StageSelector = Callable[[EndpointSelectionEnv], List[int]]
+
+
+@dataclass(frozen=True)
+class FullFlowStage:
+    """One stage of the multi-stage flow."""
+
+    name: str
+    flow: FlowConfig
+    parasitic_growth: float = 0.0  # relative wire-parasitic increase at entry
+    rho: float = 0.3  # overlap threshold for this stage's selection env
+
+    def __post_init__(self) -> None:
+        check_non_negative("parasitic_growth", self.parasitic_growth)
+
+
+@dataclass
+class FullFlowResult:
+    """Per-stage results plus the final state."""
+
+    stages: List[str]
+    stage_results: List[FlowResult]
+    stage_selections: List[List[int]]
+
+    @property
+    def final(self) -> TimingSummary:
+        return self.stage_results[-1].final
+
+    @property
+    def begin(self) -> TimingSummary:
+        return self.stage_results[0].begin
+
+    def selection_counts(self) -> List[int]:
+        return [len(s) for s in self.stage_selections]
+
+
+def default_stages(clock_period: float) -> List[FullFlowStage]:
+    """A representative three-stage recipe.
+
+    Placement-stage optimization (the paper's setting), a CTS-refinement
+    stage with +15% parasitics, and a routing-refinement stage with a
+    further +10% — magnitudes in line with typical estimate-to-extraction
+    gaps.
+    """
+    return [
+        FullFlowStage("placement", FlowConfig(clock_period=clock_period)),
+        FullFlowStage(
+            "cts_refine", FlowConfig(clock_period=clock_period), parasitic_growth=0.15
+        ),
+        FullFlowStage(
+            "route_refine", FlowConfig(clock_period=clock_period), parasitic_growth=0.10
+        ),
+    ]
+
+
+def run_full_flow(
+    netlist: Netlist,
+    stages: Sequence[FullFlowStage],
+    selector: Optional[StageSelector] = None,
+) -> FullFlowResult:
+    """Run the multi-stage flow; mutates the netlist and parasitic scale.
+
+    With ``selector=None`` every stage runs the native (unprioritized)
+    recipe; otherwise the selector is consulted at each stage whose timing
+    state still has violating endpoints.
+    """
+    if not stages:
+        raise ValueError("run_full_flow needs at least one stage")
+    names: List[str] = []
+    results: List[FlowResult] = []
+    selections: List[List[int]] = []
+    for stage in stages:
+        netlist.parasitic_scale *= 1.0 + stage.parasitic_growth
+        selection: List[int] = []
+        if selector is not None:
+            try:
+                env = EndpointSelectionEnv(
+                    netlist, stage.flow.clock_period, rho=stage.rho
+                )
+            except ValueError:
+                env = None  # nothing violating at this stage: nothing to select
+            if env is not None:
+                selection = list(selector(env))
+        result = run_flow(netlist, stage.flow, prioritized_endpoints=selection)
+        names.append(stage.name)
+        results.append(result)
+        selections.append(selection)
+    return FullFlowResult(
+        stages=names, stage_results=results, stage_selections=selections
+    )

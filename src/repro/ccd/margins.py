@@ -1,0 +1,62 @@
+"""Endpoint margin management (Algorithm 1 lines 14 and 16).
+
+RL-CCD steers the useful-skew engine by *worsening the apparent timing of
+the selected endpoints to the design WNS*: each selected endpoint gets a
+margin equal to its distance above WNS, making it look exactly as bad as the
+worst endpoint.  The priority-driven skew engine then "over-fixes" them.
+Margins are a pure view (see :class:`repro.timing.sta.TimingReport`); they
+are removed before the remaining placement optimization and never affect
+reported metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.timing.metrics import wns
+from repro.timing.sta import TimingReport
+
+
+def margins_to_wns(
+    report: TimingReport, selected_endpoints: Iterable[int]
+) -> Dict[int, float]:
+    """Margins that worsen each selected endpoint's slack to the design WNS.
+
+    ``margin(e) = slack(e) − WNS ≥ 0`` so that the apparent slack
+    ``slack(e) − margin(e)`` equals WNS exactly.  Endpoints already at WNS
+    get margin 0 (they are already maximally prioritized).
+    """
+    design_wns = wns(report.slack)
+    slack_by_cell = {int(e): float(s) for e, s in zip(report.endpoints, report.slack)}
+    margins: Dict[int, float] = {}
+    for endpoint in selected_endpoints:
+        endpoint = int(endpoint)
+        if endpoint not in slack_by_cell:
+            raise KeyError(f"cell {endpoint} is not an endpoint")
+        margins[endpoint] = max(0.0, slack_by_cell[endpoint] - design_wns)
+    return margins
+
+
+def margins_by_amount(
+    selected_endpoints: Iterable[int], amount: float
+) -> Dict[int, float]:
+    """Uniform margin of ``amount`` ns on each selected endpoint.
+
+    Negative ``amount`` implements the paper's rejected "under-fix"
+    alternative (§III-A: "another route may also work (i.e., useful skew
+    under-fix), however, we empirically observe that the proposed method
+    works significantly better") — kept for the A1 ablation bench.
+    """
+    return {int(e): float(amount) for e in selected_endpoints}
+
+
+def remove_margins(margins: Mapping[int, float]) -> Dict[int, float]:
+    """Algorithm 1 line 16: margins after removal (the empty mapping).
+
+    Exists for flow readability and to assert the contract in tests: timing
+    analyzed with ``remove_margins(m)`` equals timing analyzed with no
+    margins at all.
+    """
+    return {}

@@ -1,0 +1,123 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table2 --blocks block5,block11 --episodes 12
+    python -m repro fig5
+    python -m repro fig6
+    python -m repro ablations
+    python -m repro blocks                # list the 19 designs
+
+Equivalent to the pytest benchmarks but convenient for one-off runs and for
+driving larger sweeps (e.g. ``REPRO_BENCH_SCALE=200 python -m repro table2``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RL-CCD reproduction: regenerate the paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table2 = sub.add_parser("table2", help="regenerate Table II (default vs RL-CCD)")
+    table2.add_argument(
+        "--blocks",
+        default="",
+        help="comma-separated block subset (default: all 19)",
+    )
+    table2.add_argument("--episodes", type=int, default=12, help="RL episode cap")
+    table2.add_argument("--seed", type=int, default=0)
+
+    fig5 = sub.add_parser("fig5", help="regenerate Fig. 5 (arrival histogram, block11)")
+    fig5.add_argument("--episodes", type=int, default=12)
+    fig5.add_argument("--seed", type=int, default=0)
+
+    fig6 = sub.add_parser("fig6", help="regenerate Fig. 6 (transfer learning, block19)")
+    fig6.add_argument("--episodes", type=int, default=12)
+    fig6.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("ablations", help="run the A1-A3 ablations")
+    sub.add_parser("blocks", help="list the 19 benchmark designs")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    # Imports deferred so `--help` stays instant.
+    from repro.benchsuite.designs import BLOCKS, bench_scale, get_block
+    from repro.benchsuite.table2 import Table2Config
+
+    if args.command == "blocks":
+        print(f"{'name':>10} {'paper cells':>12} {'generated':>10} {'tech':>7}")
+        for spec in BLOCKS:
+            print(
+                f"{spec.name:>10} {spec.paper_cells:>12,} "
+                f"{spec.n_cells():>10,} {spec.library:>7}"
+            )
+        print(f"(scale 1/{bench_scale()}; override with REPRO_BENCH_SCALE)")
+        return 0
+
+    config = Table2Config(max_episodes=args.episodes, seed=args.seed)
+
+    if args.command == "table2":
+        from repro.benchsuite.report import format_table2
+        from repro.benchsuite.table2 import run_table2_row
+
+        specs = (
+            [get_block(n.strip()) for n in args.blocks.split(",") if n.strip()]
+            if args.blocks
+            else list(BLOCKS)
+        )
+        rows = []
+        for spec in specs:
+            start = time.perf_counter()
+            rows.append(run_table2_row(spec, config))
+            print(
+                f"{spec.name}: done in {time.perf_counter() - start:.1f}s",
+                file=sys.stderr,
+            )
+        print(format_table2(rows))
+        return 0
+
+    if args.command == "fig5":
+        from repro.benchsuite.figures import fig5_arrival_histogram
+        from repro.benchsuite.report import format_fig5
+
+        print(format_fig5(fig5_arrival_histogram(config=config)))
+        return 0
+
+    if args.command == "fig6":
+        from repro.benchsuite.figures import fig6_transfer
+        from repro.benchsuite.report import format_fig6
+
+        print(format_fig6(fig6_transfer(config=config)))
+        return 0
+
+    if args.command == "ablations":
+        from repro.benchsuite.ablations import (
+            overfix_vs_underfix,
+            rho_sweep,
+            selection_baselines,
+        )
+        from repro.benchsuite.report import format_ablation
+
+        print(format_ablation("A1 - over-fix vs under-fix", overfix_vs_underfix(config=config)))
+        print()
+        print(format_ablation("A2 - overlap threshold sweep", rho_sweep(config=config)))
+        print()
+        print(format_ablation("A3 - selection baselines", selection_baselines(config=config)))
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Clock-tree synthesis substrate (H-tree, insertion delays, skew bounds)."""
+
+from repro.cts.htree import (
+    ClockTree,
+    ClockTreeConfig,
+    ClockTreeNode,
+    apply_clock_tree,
+)
+
+__all__ = ["ClockTree", "ClockTreeConfig", "ClockTreeNode", "apply_clock_tree"]

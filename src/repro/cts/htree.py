@@ -1,0 +1,198 @@
+"""Clock-tree synthesis substrate: recursive H-tree construction.
+
+The paper's useful-skew engine operates on a *realized clock network* —
+ICC2 adjusts sink arrival times by retuning clock buffers, and how much a
+given flop's arrival can move is a property of its position in the tree
+(spare drive headroom along its branch).  The netlist generator assigns
+per-flop skew bounds directly; this module derives them from an explicit
+synthesized tree instead:
+
+1. a recursive **H-tree** subdivides the die, terminating in leaf regions;
+2. each flop attaches to its region's leaf buffer; the **insertion delay**
+   of a sink is the accumulated buffer + wire delay along its root path;
+3. a flop's **skew bound** is the retuning headroom of its leaf branch:
+   deeper branches (more buffers to retune) and lightly loaded leaves
+   (fewer sibling sinks that would be dragged along) allow more adjustment.
+
+The resulting :class:`ClockTree` plugs into the existing flow via
+:func:`apply_clock_tree`, which overwrites ``netlist.skew_bounds`` and
+returns per-flop insertion delays usable as initial clock arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ClockTreeNode:
+    """One buffer in the H-tree."""
+
+    index: int
+    x: float
+    y: float
+    level: int
+    parent: Optional[int]
+    children: List[int] = field(default_factory=list)
+    sinks: List[int] = field(default_factory=list)  # flop cell indices
+
+
+@dataclass(frozen=True)
+class ClockTreeConfig:
+    """H-tree construction knobs."""
+
+    levels: int = 4  # tree depth; 4 levels = 16 leaf regions
+    buffer_delay: float = 0.015  # ns per tree buffer
+    wire_delay_per_um: float = 0.0004  # ns/µm along tree segments
+    # Retuning headroom: how much one buffer stage can be slowed/sped.
+    stage_headroom: float = 0.02  # ns per buffer level along the leaf path
+    # Leaves with many sinks are harder to retune for one flop alone.
+    crowding_penalty: float = 0.5  # bound *= 1/(1 + penalty*(sinks-1)/sinks)
+
+    def __post_init__(self) -> None:
+        check_positive("levels", self.levels)
+        check_positive("buffer_delay", self.buffer_delay)
+        check_positive("stage_headroom", self.stage_headroom)
+
+
+class ClockTree:
+    """A synthesized H-tree over a placed design."""
+
+    def __init__(self, netlist: Netlist, config: ClockTreeConfig = ClockTreeConfig()):
+        self.netlist = netlist
+        self.config = config
+        self.nodes: List[ClockTreeNode] = []
+        self._sink_leaf: Dict[int, int] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        flops = self.netlist.sequential_cells()
+        xs = [c.x for c in self.netlist.cells] or [0.0]
+        ys = [c.y for c in self.netlist.cells] or [0.0]
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        root = ClockTreeNode(
+            index=0, x=(x0 + x1) / 2, y=(y0 + y1) / 2, level=0, parent=None
+        )
+        self.nodes.append(root)
+        self._subdivide(root, (x0, y0, x1, y1), 1)
+        leaves = [n for n in self.nodes if not n.children]
+        # Attach each flop to the nearest leaf buffer.
+        for flop in flops:
+            cell = self.netlist.cells[flop]
+            best = min(
+                leaves, key=lambda n: abs(n.x - cell.x) + abs(n.y - cell.y)
+            )
+            best.sinks.append(flop)
+            self._sink_leaf[flop] = best.index
+
+    def _subdivide(
+        self, parent: ClockTreeNode, box: Tuple[float, float, float, float], level: int
+    ) -> None:
+        if level > self.config.levels:
+            return
+        x0, y0, x1, y1 = box
+        mx, my = (x0 + x1) / 2, (y0 + y1) / 2
+        quadrants = (
+            (x0, y0, mx, my),
+            (mx, y0, x1, my),
+            (x0, my, mx, y1),
+            (mx, my, x1, y1),
+        )
+        for quad in quadrants:
+            qx = (quad[0] + quad[2]) / 2
+            qy = (quad[1] + quad[3]) / 2
+            node = ClockTreeNode(
+                index=len(self.nodes), x=qx, y=qy, level=level, parent=parent.index
+            )
+            self.nodes.append(node)
+            parent.children.append(node.index)
+            self._subdivide(node, quad, level + 1)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_levels(self) -> int:
+        return max(n.level for n in self.nodes) + 1
+
+    def leaves(self) -> List[ClockTreeNode]:
+        return [n for n in self.nodes if not n.children]
+
+    def leaf_of(self, flop: int) -> ClockTreeNode:
+        try:
+            return self.nodes[self._sink_leaf[flop]]
+        except KeyError:
+            raise KeyError(f"flop {flop} is not attached to the clock tree") from None
+
+    def root_path(self, flop: int) -> List[ClockTreeNode]:
+        """Buffers from root to the flop's leaf (inclusive)."""
+        path: List[ClockTreeNode] = []
+        node: Optional[ClockTreeNode] = self.leaf_of(flop)
+        while node is not None:
+            path.append(node)
+            node = self.nodes[node.parent] if node.parent is not None else None
+        path.reverse()
+        return path
+
+    def insertion_delay(self, flop: int) -> float:
+        """Accumulated buffer + wire delay from the root to the flop pin."""
+        cell = self.netlist.cells[flop]
+        path = self.root_path(flop)
+        delay = 0.0
+        prev = path[0]
+        delay += self.config.buffer_delay  # root buffer
+        for node in path[1:]:
+            dist = abs(node.x - prev.x) + abs(node.y - prev.y)
+            delay += self.config.wire_delay_per_um * dist + self.config.buffer_delay
+            prev = node
+        dist = abs(cell.x - prev.x) + abs(cell.y - prev.y)
+        delay += self.config.wire_delay_per_um * dist
+        return delay
+
+    def skew_bound(self, flop: int) -> float:
+        """Retuning headroom for the flop's clock arrival (symmetric, ns).
+
+        Buffers along the leaf path each contribute ``stage_headroom``;
+        crowded leaves (many sibling flops) discount the bound because
+        moving the shared leaf buffer drags siblings along.
+        """
+        path = self.root_path(flop)
+        leaf = path[-1]
+        raw = self.config.stage_headroom * len(path)
+        siblings = max(1, len(leaf.sinks))
+        crowding = 1.0 / (
+            1.0 + self.config.crowding_penalty * (siblings - 1) / siblings
+        )
+        return raw * crowding
+
+    def global_skew(self) -> float:
+        """Max insertion-delay difference across sinks (CTS quality metric)."""
+        flops = list(self._sink_leaf)
+        if not flops:
+            return 0.0
+        delays = [self.insertion_delay(f) for f in flops]
+        return max(delays) - min(delays)
+
+
+def apply_clock_tree(
+    netlist: Netlist, config: ClockTreeConfig = ClockTreeConfig()
+) -> Dict[int, float]:
+    """Synthesize a tree, install its skew bounds, return insertion delays.
+
+    Overwrites ``netlist.skew_bounds`` with tree-derived values — call after
+    placement.  Returns ``{flop: insertion_delay}`` for callers that want
+    non-zero initial clock arrivals (e.g. the full-flow extension's CTS
+    stage).
+    """
+    tree = ClockTree(netlist, config)
+    delays: Dict[int, float] = {}
+    for flop in netlist.sequential_cells():
+        netlist.skew_bounds[flop] = tree.skew_bound(flop)
+        delays[flop] = tree.insertion_delay(flop)
+    return delays

@@ -1,0 +1,22 @@
+"""Endpoint features: Table-I extraction, fan-in cones, overlap masking."""
+
+from repro.features.adaptive_masking import (
+    DecayingRho,
+    FixedRho,
+    MaskingStrategy,
+    SizeAdaptiveRho,
+)
+from repro.features.cones import ConeIndex, fanin_cone
+from repro.features.table1 import FEATURE_NAMES, NUM_FEATURES, FeatureExtractor
+
+__all__ = [
+    "ConeIndex",
+    "fanin_cone",
+    "FeatureExtractor",
+    "FEATURE_NAMES",
+    "NUM_FEATURES",
+    "MaskingStrategy",
+    "FixedRho",
+    "SizeAdaptiveRho",
+    "DecayingRho",
+]

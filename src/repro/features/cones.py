@@ -1,0 +1,108 @@
+"""Endpoint fan-in cones and overlap masking (paper Fig. 3, §III-C).
+
+The fan-in cone of an endpoint is every combinational cell reachable
+backwards from its data input(s) without crossing a startpoint (flop Q or
+input port) — "the fan-in cone tracing of an endpoint stops at its previous
+startpoints".
+
+The overlap ratio between a selected endpoint *a* and a candidate *b* is
+``|cone(a) ∩ cone(b)| / |cone(b)|`` — the overlapped cell count divided by
+the candidate's total cone size, so a small cone fully contained in the
+selected one is fully overlapped (ratio 1).  After each RL selection,
+candidates with ratio > ρ are masked (default ρ = 0.3, Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+from repro.utils.validation import check_probability
+
+
+def fanin_cone(netlist: Netlist, endpoint: int) -> FrozenSet[int]:
+    """Combinational cells in ``endpoint``'s fan-in cone (endpoint excluded).
+
+    Tracing stops at startpoints; the startpoints themselves and the
+    endpoint are not counted, matching Fig. 3 where the ratio is over
+    internal cone cells.
+    """
+    cone: Set[int] = set()
+    queue = deque(netlist.fanin_cells(endpoint))
+    while queue:
+        cell_index = queue.popleft()
+        cell = netlist.cells[cell_index]
+        if cell.is_startpoint or cell_index in cone:
+            continue
+        cone.add(cell_index)
+        queue.extend(netlist.fanin_cells(cell_index))
+    return frozenset(cone)
+
+
+class ConeIndex:
+    """Precomputed cones for all endpoints plus overlap/masking queries."""
+
+    def __init__(self, netlist: Netlist, endpoints: Sequence[int]):
+        self.netlist = netlist
+        self.endpoints: List[int] = list(endpoints)
+        self._position: Dict[int, int] = {e: i for i, e in enumerate(self.endpoints)}
+        self.cones: List[FrozenSet[int]] = [
+            fanin_cone(netlist, e) for e in self.endpoints
+        ]
+
+    def __len__(self) -> int:
+        return len(self.endpoints)
+
+    def cone_of(self, endpoint: int) -> FrozenSet[int]:
+        """The fan-in cone of endpoint cell ``endpoint``."""
+        return self.cones[self._position[endpoint]]
+
+    def cone_sizes(self) -> np.ndarray:
+        """Cone cell count per endpoint (canonical order)."""
+        return np.array([len(c) for c in self.cones], dtype=np.int64)
+
+    def overlap_ratio(self, selected: int, candidate: int) -> float:
+        """``|cone(sel) ∩ cone(cand)| / |cone(cand)|`` (0 if cand cone empty)."""
+        cone_sel = self.cone_of(selected)
+        cone_cand = self.cone_of(candidate)
+        if not cone_cand:
+            return 0.0
+        return len(cone_sel & cone_cand) / len(cone_cand)
+
+    def overlap_ratios(self, selected: int) -> np.ndarray:
+        """Overlap ratio of every endpoint against ``selected``.
+
+        The selected endpoint's own entry is 1.0 when its cone is non-empty
+        (it fully overlaps itself) and 0.0 otherwise.
+        """
+        cone_sel = self.cone_of(selected)
+        ratios = np.zeros(len(self.endpoints))
+        for i, cone in enumerate(self.cones):
+            if cone:
+                ratios[i] = len(cone_sel & cone) / len(cone)
+        return ratios
+
+    def mask_after_selection(
+        self, selected: int, currently_valid: np.ndarray, rho: float
+    ) -> np.ndarray:
+        """Endpoints (boolean, canonical order) to mask after ``selected``.
+
+        A still-valid candidate is masked when its overlap ratio with the
+        selected endpoint exceeds ``rho``.  The selected endpoint itself is
+        *not* in the returned mask (it transitions to "selected", a distinct
+        state tracked by the caller).
+        """
+        check_probability("rho", rho)
+        currently_valid = np.asarray(currently_valid, dtype=bool)
+        if currently_valid.shape != (len(self.endpoints),):
+            raise ValueError(
+                f"valid mask has shape {currently_valid.shape}, expected "
+                f"({len(self.endpoints)},)"
+            )
+        ratios = self.overlap_ratios(selected)
+        to_mask = currently_valid & (ratios > rho)
+        to_mask[self._position[selected]] = False
+        return to_mask

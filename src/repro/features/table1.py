@@ -1,0 +1,168 @@
+"""Table-I node features for EP-GNN encoding.
+
+The paper's Table I rows sum to 13 dimensions (1 mask + 2 location +
+1 outNet cap + 1 load cap + 1 cell cap + 2 cell power + 1 net power +
+1 max toggle + 1 wst slack + 1 wst output slew + 1 wst input slew).  We add
+one substrate-specific 14th dimension, **clock flexibility** (the flop's
+useful-skew bound as a fraction of the clock period): in ICC2 the useful
+skew engine sees clock-tree flexibility internally, whereas in our substrate
+that information exists only in ``netlist.skew_bounds`` — surfacing it as a
+node feature gives the agent the same observability the paper's tool stack
+has.  Set ``include_clock_flexibility=False`` to reproduce the strict
+13-feature Table I (the F-ablation bench measures the difference).
+
+==================  ====  =======================================================
+name                dims  description
+==================  ====  =======================================================
+RL masked             1   endpoint is selected or masked by RL-CCD (dynamic)
+locations             2   cell (x, y) in global placement, normalized to die
+outNet cap            1   capacitance of the driven net
+load cap              1   sum of sink input-pin capacitances being driven
+cell cap              1   cell input capacitance (sum over own input pins)
+cell power            2   internal power and leakage power
+net power             1   output net switching power
+max toggle            1   toggle rate at the output pin
+wst slack             1   worst slack of paths through the cell
+wst output slew       1   worst output transition
+wst input slew        1   worst input transition
+==================  ====  =======================================================
+
+The "RL masked" column changes every RL step (selection + overlap masking),
+which is why EP-GNN re-encodes the graph at each time step (paper §III-B.1);
+:meth:`FeatureExtractor.update_mask_column` refreshes just that column so
+the expensive static part is computed once per trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+from repro.power.models import (
+    cell_internal_power,
+    cell_leakage_power,
+    net_switching_power,
+)
+from repro.timing.clock import ClockModel
+from repro.timing.sta import TimingReport
+
+NUM_FEATURES = 14
+
+FEATURE_NAMES = (
+    "rl_masked",
+    "loc_x",
+    "loc_y",
+    "outnet_cap",
+    "load_cap",
+    "cell_cap",
+    "internal_power",
+    "leakage_power",
+    "net_power",
+    "max_toggle",
+    "wst_slack",
+    "wst_output_slew",
+    "wst_input_slew",
+    "clock_flexibility",
+)
+
+
+class FeatureExtractor:
+    """Builds the (num_cells × NUM_FEATURES) feature matrix for a design.
+
+    Static columns (physical, power, timing) are computed from one STA
+    report via :meth:`extract`; the dynamic "RL masked" column is refreshed
+    cheaply with :meth:`update_mask_column` as the agent selects endpoints.
+    All columns are scaled to O(1) ranges so the GNN trains stably.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        die_side: Optional[float] = None,
+        include_clock_flexibility: bool = True,
+    ):
+        self.netlist = netlist
+        if die_side is None:
+            xs = [c.x for c in netlist.cells]
+            ys = [c.y for c in netlist.cells]
+            die_side = max(max(xs) - min(xs), max(ys) - min(ys), 1e-9)
+        self.die_side = float(die_side)
+        self.include_clock_flexibility = include_clock_flexibility
+
+    def extract(
+        self,
+        report: TimingReport,
+        clock: ClockModel,
+        masked_or_selected: Iterable[int] = (),
+    ) -> np.ndarray:
+        """Full feature matrix; see module docstring for columns."""
+        netlist = self.netlist
+        n = netlist.num_cells
+        features = np.zeros((n, NUM_FEATURES))
+        frequency = 1.0 / clock.period
+        cap_scale = 0.1  # fF -> O(1)
+        time_scale = 1.0 / clock.period
+        power_scale = 10.0
+
+        flagged = set(masked_or_selected)
+        slew_in = np.zeros(n)
+        for cell in netlist.cells:
+            i = cell.index
+            features[i, 0] = 1.0 if i in flagged else 0.0
+            features[i, 1] = cell.x / self.die_side
+            features[i, 2] = cell.y / self.die_side
+            if cell.fanout_net is not None:
+                net_index = cell.fanout_net
+                features[i, 3] = netlist.net_load_cap(net_index) * cap_scale
+                pin_cap = 0.0
+                for sink_cell, _pin in netlist.nets[net_index].sinks:
+                    sink = netlist.cells[sink_cell]
+                    if sink.is_output_port:
+                        pin_cap += netlist.library.default_port_cap
+                    else:
+                        pin_cap += sink.size.input_cap
+                features[i, 4] = pin_cap * cap_scale
+                features[i, 8] = (
+                    net_switching_power(netlist, net_index, frequency) * power_scale
+                )
+            features[i, 5] = (
+                cell.size.input_cap * cell.cell_type.num_inputs * cap_scale
+            )
+            features[i, 6] = cell_internal_power(netlist, i) * power_scale
+            features[i, 7] = cell_leakage_power(netlist, i) * power_scale
+            features[i, 9] = cell.toggle_rate
+            features[i, 11] = report.cell_slew[i] * time_scale
+            worst_in = 0.0
+            for driver in netlist.fanin_cells(i):
+                worst_in = max(worst_in, report.cell_slew[driver])
+            features[i, 12] = worst_in * time_scale
+
+        # Worst slack through cell: clamp unconstrained (+inf) to one period.
+        wst = np.clip(report.cell_worst_slack, -10.0 / time_scale, 1.0 / time_scale)
+        features[:, 10] = wst * time_scale
+
+        # Endpoint cells have no "through" slack from the backward pass seed;
+        # give them their own endpoint slack (margin-aware), the quantity the
+        # agent must reason about.
+        apparent = report.slack_with_margins
+        for k, e in enumerate(report.endpoints):
+            features[e, 10] = float(np.clip(apparent[k] * time_scale, -10.0, 1.0))
+
+        # Substrate extension: per-flop useful-skew flexibility (see module
+        # docstring).  Zero for combinational cells and ports.
+        if self.include_clock_flexibility:
+            for flop, bound in netlist.skew_bounds.items():
+                features[flop, 13] = bound * time_scale
+        return features
+
+    def update_mask_column(
+        self, features: np.ndarray, masked_or_selected: Iterable[int]
+    ) -> np.ndarray:
+        """Refresh column 0 in place (returns ``features`` for chaining)."""
+        features[:, 0] = 0.0
+        indices = list(masked_or_selected)
+        if indices:
+            features[np.asarray(indices, dtype=np.int64), 0] = 1.0
+        return features

@@ -1,0 +1,5 @@
+"""EP-GNN endpoint encoder (paper Eq. 2 and Eq. 3)."""
+
+from repro.gnn.epgnn import EMBED_DIM, HIDDEN_DIM, NUM_LAYERS, EPGNN, GraphConvLayer
+
+__all__ = ["EPGNN", "GraphConvLayer", "EMBED_DIM", "HIDDEN_DIM", "NUM_LAYERS"]

@@ -1,0 +1,49 @@
+"""Netlist substrate: libraries, data model, generation, GNN transform."""
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.core import Cell, Net, Netlist
+from repro.netlist.generator import GeneratorConfig, generate_design, quick_design
+from repro.netlist.io import (
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+from repro.netlist.library import (
+    LIBRARIES,
+    TECH5,
+    TECH7,
+    TECH12,
+    CellSize,
+    CellType,
+    Library,
+    get_library,
+)
+from repro.netlist.transform import MessagePassingGraph, to_message_passing_graph
+from repro.netlist.validate import NetlistError, validate_netlist
+
+__all__ = [
+    "Cell",
+    "Net",
+    "Netlist",
+    "NetlistBuilder",
+    "CellSize",
+    "CellType",
+    "Library",
+    "get_library",
+    "LIBRARIES",
+    "TECH5",
+    "TECH7",
+    "TECH12",
+    "GeneratorConfig",
+    "generate_design",
+    "quick_design",
+    "save_netlist",
+    "load_netlist",
+    "netlist_to_dict",
+    "netlist_from_dict",
+    "MessagePassingGraph",
+    "to_message_passing_graph",
+    "NetlistError",
+    "validate_netlist",
+]

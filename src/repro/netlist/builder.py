@@ -1,0 +1,106 @@
+"""High-level construction API for netlists.
+
+:class:`NetlistBuilder` lets examples and tests describe circuits by name
+without managing net indices by hand::
+
+    b = NetlistBuilder("demo", get_library("tech7"))
+    b.add_input("a"); b.add_input("b")
+    b.add_gate("NAND2", "g1", ["a", "b"])
+    b.add_flop("ff1", "g1")
+    b.add_gate("INV", "g2", ["ff1"])
+    b.add_output("y", "g2")
+    netlist = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.netlist.core import Cell, Netlist
+from repro.netlist.library import Library
+from repro.netlist.validate import validate_netlist
+
+CellRef = Union[str, Cell]
+
+
+class NetlistBuilder:
+    """Incremental netlist construction with name-based connections."""
+
+    def __init__(self, name: str, library: Library):
+        self.netlist = Netlist(name, library)
+        self._pending: List[Cell] = []
+
+    def _resolve(self, ref: CellRef) -> Cell:
+        if isinstance(ref, Cell):
+            return ref
+        return self.netlist.cell_by_name(ref)
+
+    def _drive(self, source: Cell, sink: Cell, pin: int) -> None:
+        """Connect ``source``'s output to ``sink``'s input ``pin``."""
+        if source.fanout_net is None:
+            self.netlist.add_net(f"n_{source.name}", source.index)
+        self.netlist.connect(source.fanout_net, sink.index, pin)
+
+    # ------------------------------------------------------------------ #
+    def add_input(self, name: str) -> Cell:
+        """Add a primary input port (a startpoint)."""
+        return self.netlist.add_cell(name, self.netlist.library.cell_type("INPORT"))
+
+    def add_output(self, name: str, source: CellRef) -> Cell:
+        """Add a primary output port (an endpoint) fed by ``source``."""
+        port = self.netlist.add_cell(name, self.netlist.library.cell_type("OUTPORT"))
+        self._drive(self._resolve(source), port, 0)
+        return port
+
+    def add_gate(
+        self,
+        type_name: str,
+        name: str,
+        inputs: Sequence[CellRef],
+        size_index: int = 0,
+    ) -> Cell:
+        """Add a combinational gate with its inputs fully connected."""
+        cell_type = self.netlist.library.cell_type(type_name)
+        if cell_type.is_sequential or cell_type.is_port:
+            raise ValueError(
+                f"add_gate() is for combinational cells; use add_flop()/add_input() "
+                f"for {type_name!r}"
+            )
+        if len(inputs) != cell_type.num_inputs:
+            raise ValueError(
+                f"{type_name} needs {cell_type.num_inputs} inputs, got {len(inputs)}"
+            )
+        gate = self.netlist.add_cell(name, cell_type, size_index)
+        for pin, ref in enumerate(inputs):
+            self._drive(self._resolve(ref), gate, pin)
+        return gate
+
+    def add_flop(
+        self,
+        name: str,
+        data: Optional[CellRef] = None,
+        size_index: int = 0,
+        skew_bound: float = 0.1,
+    ) -> Cell:
+        """Add a DFF; ``data`` (if given) feeds its D pin.
+
+        ``skew_bound`` is the maximum useful-skew adjustment (ns, symmetric)
+        the clock-path optimizer may apply to this flop's clock arrival.
+        """
+        if skew_bound < 0:
+            raise ValueError(f"skew_bound must be non-negative, got {skew_bound}")
+        flop = self.netlist.add_cell(name, self.netlist.library.cell_type("DFF"), size_index)
+        self.netlist.skew_bounds[flop.index] = float(skew_bound)
+        if data is not None:
+            self._drive(self._resolve(data), flop, 0)
+        return flop
+
+    def connect_data(self, flop: CellRef, source: CellRef) -> None:
+        """Late-bind a flop's D input (for feedback structures)."""
+        self._drive(self._resolve(source), self._resolve(flop), 0)
+
+    def build(self, validate: bool = True) -> Netlist:
+        """Finalize and (optionally) structurally validate the netlist."""
+        if validate:
+            validate_netlist(self.netlist)
+        return self.netlist

@@ -1,0 +1,303 @@
+"""Synthetic design generator.
+
+The paper's 19 benchmark designs are confidential industrial blocks.  This
+generator produces seeded stand-ins with the structural properties the
+RL-CCD selection problem is actually sensitive to:
+
+* **register-bound logic cones** — each endpoint (flop D pin / output port)
+  owns a fan-in cone of combinational logic grown *backwards* from the
+  endpoint toward startpoints, so path depth (and therefore slack) varies
+  per endpoint;
+* **cone overlap** — while growing a cone, open input pins *reuse* existing
+  cells of the same cluster with probability ``reuse_probability``; shared
+  subcones are exactly what the paper's overlap-masking (Fig. 3) keys on;
+* **skew-bound diversity** — a fraction of flops are "flexible" (generous
+  useful-skew range, e.g. local clock buffers with spare margin) and the rest
+  nearly fixed; endpoints captured by flexible flops are the clock-fixable
+  ones;
+* **sizing-headroom diversity** — some clusters start already upsized (little
+  data-path headroom), others at minimum size; endpoints whose cones sit in
+  high-headroom clusters are the data-fixable ones.
+
+The combination gives each violating endpoint a distinct sensitivity to
+clock- vs. data-path optimization — the heterogeneity the paper identifies
+as "not all violating endpoints are equal" (§I).
+
+Cycle freedom is guaranteed by construction: every cell carries a *level*
+and connections always go from strictly lower to higher level, with
+startpoints at level 0.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.core import Cell, Netlist
+from repro.netlist.library import Library, get_library
+from repro.netlist.validate import validate_netlist
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive, check_probability
+
+# Combinational cell-type mix: weighted toward 1–2 input gates so cone growth
+# stays near-linear in depth (3-input gates branch via side pins).
+_TYPE_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("INV", 0.22),
+    ("BUF", 0.10),
+    ("NAND2", 0.22),
+    ("NOR2", 0.16),
+    ("XOR2", 0.08),
+    ("AND3", 0.08),
+    ("OAI21", 0.08),
+    ("MUX2", 0.06),
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs controlling one synthetic design.
+
+    ``n_cells`` is a target; the realized count lands close to it (cone
+    growth stops creating new cells when the budget is spent).
+    """
+
+    name: str
+    library: str = "tech7"
+    n_cells: int = 1000
+    n_inputs: int = 24
+    n_outputs: int = 16
+    flop_fraction: float = 0.15
+    n_clusters: int = 4
+    mean_depth: float = 9.0
+    depth_jitter: float = 0.35
+    reuse_probability: float = 0.35
+    cross_cluster_probability: float = 0.08
+    side_pin_shortcut_probability: float = 0.6
+    max_fanout: int = 8
+    flex_flop_fraction: float = 0.45
+    flexible_skew_range: Tuple[float, float] = (0.12, 0.35)  # × clock period
+    rigid_skew_range: Tuple[float, float] = (0.0, 0.04)  # × clock period
+    low_headroom_cluster_fraction: float = 0.4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("n_cells", self.n_cells)
+        check_positive("n_clusters", self.n_clusters)
+        check_positive("mean_depth", self.mean_depth)
+        check_probability("flop_fraction", self.flop_fraction)
+        check_probability("reuse_probability", self.reuse_probability)
+        check_probability("cross_cluster_probability", self.cross_cluster_probability)
+        check_probability("flex_flop_fraction", self.flex_flop_fraction)
+        check_probability(
+            "low_headroom_cluster_fraction", self.low_headroom_cluster_fraction
+        )
+        if self.n_inputs < 1 or self.n_outputs < 1:
+            raise ValueError("designs need at least one input and one output port")
+        if self.max_fanout < 2:
+            raise ValueError("max_fanout must be at least 2")
+
+
+class _ConeGrower:
+    """Backward cone construction with level bookkeeping."""
+
+    def __init__(self, netlist: Netlist, config: GeneratorConfig, rng: np.random.Generator):
+        self.netlist = netlist
+        self.config = config
+        self.rng = rng
+        self.level: Dict[int, int] = {}
+        # Per-cluster pools of reusable combinational cells.
+        self.pool: Dict[int, List[int]] = {c: [] for c in range(config.n_clusters)}
+        self.startpoints: Dict[int, List[int]] = {c: [] for c in range(config.n_clusters)}
+        self.comb_budget = 0
+        self._type_names = [n for n, _ in _TYPE_WEIGHTS]
+        weights = np.array([w for _, w in _TYPE_WEIGHTS])
+        self._type_probs = weights / weights.sum()
+        # Per-cluster base size index: low-headroom clusters start upsized.
+        self.cluster_base_size: Dict[int, int] = {}
+        self._counter = 0
+
+    # -------------------------------------------------------------- #
+    def register_startpoint(self, cell: Cell) -> None:
+        self.level[cell.index] = 0
+        self.startpoints[cell.cluster].append(cell.index)
+
+    def _pick_cluster(self, home: int) -> int:
+        if self.rng.random() < self.config.cross_cluster_probability:
+            return int(self.rng.integers(self.config.n_clusters))
+        return home
+
+    def _fanout_count(self, cell_index: int) -> int:
+        net = self.netlist.cells[cell_index].fanout_net
+        return 0 if net is None else self.netlist.nets[net].fanout
+
+    def _connect(self, driver: int, sink: int, pin: int) -> None:
+        driver_cell = self.netlist.cells[driver]
+        if driver_cell.fanout_net is None:
+            self.netlist.add_net(f"n{driver}", driver)
+        self.netlist.connect(driver_cell.fanout_net, sink, pin)
+
+    def _sample_startpoint(self, cluster: int) -> int:
+        cluster = self._pick_cluster(cluster)
+        candidates = self.startpoints[cluster]
+        # Prefer lightly loaded startpoints so fanout stays realistic.
+        fresh = [c for c in candidates if self._fanout_count(c) < self.config.max_fanout]
+        pick_from = fresh if fresh else candidates
+        return int(pick_from[self.rng.integers(len(pick_from))])
+
+    def _sample_reuse(self, cluster: int, below_level: int) -> Optional[int]:
+        cluster = self._pick_cluster(cluster)
+        candidates = [
+            c
+            for c in self.pool[cluster]
+            if self.level[c] < below_level
+            and self._fanout_count(c) < self.config.max_fanout
+        ]
+        if not candidates:
+            return None
+        return int(candidates[self.rng.integers(len(candidates))])
+
+    def _new_comb_cell(self, cluster: int, level: int) -> Cell:
+        type_name = self._type_names[
+            int(self.rng.choice(len(self._type_names), p=self._type_probs))
+        ]
+        cell_type = self.netlist.library.cell_type(type_name)
+        base = self.cluster_base_size.get(cluster, 0)
+        size_index = min(
+            cell_type.max_size_index,
+            max(0, base + int(self.rng.integers(-1, 2))),
+        )
+        self._counter += 1
+        cell = self.netlist.add_cell(
+            f"u{self._counter}_{type_name.lower()}", cell_type, size_index
+        )
+        cell.cluster = cluster
+        cell.toggle_rate = float(self.rng.beta(2.0, 5.0))
+        self.level[cell.index] = level
+        self.pool[cluster].append(cell.index)
+        self.comb_budget -= 1
+        return cell
+
+    # -------------------------------------------------------------- #
+    def grow_cone(self, endpoint: Cell, target_depth: int) -> None:
+        """Grow the fan-in cone of ``endpoint`` backwards to startpoints."""
+        self.level[endpoint.index] = target_depth
+        # Open pins: (cell_index, pin, consumer_level, is_spine).
+        queue: deque = deque()
+        for pin in range(endpoint.cell_type.num_inputs):
+            if endpoint.fanin_nets[pin] is None:
+                queue.append((endpoint.index, pin, target_depth, True))
+        while queue:
+            sink, pin, consumer_level, is_spine = queue.popleft()
+            cluster = self.netlist.cells[sink].cluster
+            shortcut = (
+                not is_spine
+                and self.rng.random() < self.config.side_pin_shortcut_probability
+            )
+            if consumer_level <= 1 or self.comb_budget <= 0 or shortcut:
+                driver = None
+                if self.rng.random() < self.config.reuse_probability:
+                    driver = self._sample_reuse(cluster, consumer_level)
+                if driver is None:
+                    driver = self._sample_startpoint(cluster)
+                self._connect(driver, sink, pin)
+                continue
+            if self.rng.random() < self.config.reuse_probability:
+                reused = self._sample_reuse(cluster, consumer_level)
+                if reused is not None:
+                    self._connect(reused, sink, pin)
+                    continue
+            new_cell = self._new_comb_cell(cluster, consumer_level - 1)
+            self._connect(new_cell.index, sink, pin)
+            for new_pin in range(new_cell.cell_type.num_inputs):
+                queue.append(
+                    (new_cell.index, new_pin, consumer_level - 1, new_pin == 0)
+                )
+
+
+def generate_design(config: GeneratorConfig) -> Netlist:
+    """Generate a structurally valid synthetic design from ``config``.
+
+    The same config (including seed) always yields the identical netlist.
+    """
+    rng = as_rng(config.seed)
+    library = get_library(config.library)
+    netlist = Netlist(config.name, library)
+    grower = _ConeGrower(netlist, config, rng)
+
+    n_flops = max(2, int(round(config.flop_fraction * config.n_cells)))
+    n_fixed = n_flops + config.n_inputs + config.n_outputs
+    grower.comb_budget = max(0, config.n_cells - n_fixed)
+
+    # Cluster headroom profile: a fraction of clusters start upsized.
+    n_low = int(round(config.low_headroom_cluster_fraction * config.n_clusters))
+    low_clusters = set(rng.choice(config.n_clusters, size=n_low, replace=False).tolist())
+    for c in range(config.n_clusters):
+        grower.cluster_base_size[c] = 3 if c in low_clusters else 0
+
+    # --- startpoints and endpoints ------------------------------------ #
+    inport = library.cell_type("INPORT")
+    outport = library.cell_type("OUTPORT")
+    dff = library.cell_type("DFF")
+
+    for i in range(config.n_inputs):
+        cell = netlist.add_cell(f"in{i}", inport)
+        cell.cluster = i % config.n_clusters
+        cell.toggle_rate = float(rng.beta(2.0, 4.0))
+        grower.register_startpoint(cell)
+
+    flops: List[Cell] = []
+    period = library.default_clock_period
+    for i in range(n_flops):
+        cell = netlist.add_cell(f"ff{i}", dff, size_index=int(rng.integers(0, 2)))
+        cell.cluster = int(rng.integers(config.n_clusters))
+        cell.toggle_rate = float(rng.beta(2.0, 5.0))
+        if rng.random() < config.flex_flop_fraction:
+            lo, hi = config.flexible_skew_range
+        else:
+            lo, hi = config.rigid_skew_range
+        netlist.skew_bounds[cell.index] = float(rng.uniform(lo, hi) * period)
+        grower.register_startpoint(cell)
+        flops.append(cell)
+
+    outputs: List[Cell] = []
+    for i in range(config.n_outputs):
+        cell = netlist.add_cell(f"out{i}", outport)
+        cell.cluster = int(rng.integers(config.n_clusters))
+        outputs.append(cell)
+
+    # --- grow endpoint cones (flop D pins, then output ports) --------- #
+    endpoints: List[Cell] = flops + outputs
+    order = rng.permutation(len(endpoints))
+    for idx in order:
+        endpoint = endpoints[idx]
+        depth = max(
+            2,
+            int(
+                round(
+                    rng.lognormal(
+                        mean=np.log(config.mean_depth), sigma=config.depth_jitter
+                    )
+                )
+            ),
+        )
+        grower.grow_cone(endpoint, depth)
+
+    validate_netlist(netlist)
+    return netlist
+
+
+def quick_design(
+    name: str = "quick",
+    n_cells: int = 400,
+    seed: int = 0,
+    library: str = "tech7",
+    **overrides,
+) -> Netlist:
+    """Convenience wrapper: a small valid design for tests and examples."""
+    config = GeneratorConfig(
+        name=name, library=library, n_cells=n_cells, seed=seed, **overrides
+    )
+    return generate_design(config)

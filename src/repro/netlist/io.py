@@ -1,0 +1,143 @@
+"""Netlist (de)serialization to a JSON interchange format.
+
+Lets users persist generated designs (with placement, skew bounds and
+toggle rates), share reproducible benchmark inputs, and load designs
+produced outside the generator.  The format is deliberately simple and
+versioned:
+
+.. code-block:: json
+
+    {
+      "format": "repro-netlist",
+      "version": 1,
+      "name": "block5",
+      "library": "tech5",
+      "parasitic_scale": 1.0,
+      "cells": [
+        {"name": "ff0", "type": "DFF", "size": 1, "x": 1.0, "y": 2.0,
+         "toggle": 0.12, "cluster": 0, "skew_bound": 0.08},
+        ...
+      ],
+      "nets": [
+        {"name": "n0", "driver": "ff0", "sinks": [["u1_inv", 0]]},
+        ...
+      ]
+    }
+
+Cells are referenced by name (stable across round trips); the library is
+referenced by name and must exist in :data:`repro.netlist.library.LIBRARIES`
+at load time — cell geometry/electrical data are library-owned, not
+serialized.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.netlist.core import Netlist
+from repro.netlist.library import get_library
+from repro.netlist.validate import validate_netlist
+
+FORMAT_NAME = "repro-netlist"
+FORMAT_VERSION = 1
+
+
+def netlist_to_dict(netlist: Netlist) -> Dict[str, Any]:
+    """Serialize ``netlist`` to a JSON-ready dictionary."""
+    cells = []
+    for cell in netlist.cells:
+        entry: Dict[str, Any] = {
+            "name": cell.name,
+            "type": cell.cell_type.name,
+            "size": cell.size_index,
+            "x": cell.x,
+            "y": cell.y,
+            "toggle": cell.toggle_rate,
+            "cluster": cell.cluster,
+        }
+        if cell.index in netlist.skew_bounds:
+            entry["skew_bound"] = netlist.skew_bounds[cell.index]
+        cells.append(entry)
+    nets = [
+        {
+            "name": net.name,
+            "driver": netlist.cells[net.driver].name,
+            "sinks": [
+                [netlist.cells[cell_index].name, pin]
+                for cell_index, pin in net.sinks
+            ],
+        }
+        for net in netlist.nets
+    ]
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": netlist.name,
+        "library": netlist.library.name,
+        "parasitic_scale": netlist.parasitic_scale,
+        "cells": cells,
+        "nets": nets,
+    }
+
+
+def netlist_from_dict(data: Dict[str, Any]) -> Netlist:
+    """Reconstruct a netlist from :func:`netlist_to_dict` output.
+
+    Raises ``ValueError`` on format mismatches and re-validates the result
+    structurally (never trust external inputs).
+    """
+    if data.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"not a {FORMAT_NAME} document (format={data.get('format')!r})"
+        )
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported {FORMAT_NAME} version {version!r} "
+            f"(supported: {FORMAT_VERSION})"
+        )
+    library = get_library(data["library"])
+    netlist = Netlist(data["name"], library)
+    netlist.parasitic_scale = float(data.get("parasitic_scale", 1.0))
+
+    for entry in data["cells"]:
+        cell = netlist.add_cell(
+            entry["name"], library.cell_type(entry["type"]), int(entry.get("size", 0))
+        )
+        cell.x = float(entry.get("x", 0.0))
+        cell.y = float(entry.get("y", 0.0))
+        cell.toggle_rate = float(entry.get("toggle", 0.1))
+        cell.cluster = int(entry.get("cluster", 0))
+        if "skew_bound" in entry:
+            bound = float(entry["skew_bound"])
+            if bound < 0:
+                raise ValueError(
+                    f"cell {cell.name!r} has negative skew bound {bound}"
+                )
+            netlist.skew_bounds[cell.index] = bound
+
+    for entry in data["nets"]:
+        driver = netlist.cell_by_name(entry["driver"])
+        net = netlist.add_net(entry["name"], driver.index)
+        for sink_name, pin in entry["sinks"]:
+            sink = netlist.cell_by_name(sink_name)
+            netlist.connect(net.index, sink.index, int(pin))
+
+    validate_netlist(netlist)
+    return netlist
+
+
+def save_netlist(netlist: Netlist, path: str, indent: int = 1) -> None:
+    """Write ``netlist`` as JSON to ``path`` (parent dirs created)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(netlist_to_dict(netlist), handle, indent=indent)
+
+
+def load_netlist(path: str) -> Netlist:
+    """Load a netlist previously written by :func:`save_netlist`."""
+    with open(path) as handle:
+        return netlist_from_dict(json.load(handle))

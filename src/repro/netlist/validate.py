@@ -1,0 +1,93 @@
+"""Structural validation of netlists.
+
+The STA engine assumes a well-formed netlist: every input pin driven, one
+driver per net, and no combinational cycles (paths are broken only at
+flip-flops).  :func:`validate_netlist` checks all of it and raises
+:class:`NetlistError` with the first problem found.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.core import Netlist
+
+
+class NetlistError(ValueError):
+    """A structural problem that would make timing analysis meaningless."""
+
+
+def validate_netlist(netlist: Netlist) -> None:
+    """Raise :class:`NetlistError` if the netlist is structurally invalid."""
+    _check_connectivity(netlist)
+    _check_combinational_acyclic(netlist)
+
+
+def _check_connectivity(netlist: Netlist) -> None:
+    for cell in netlist.cells:
+        for pin, net_index in enumerate(cell.fanin_nets):
+            if net_index is None:
+                raise NetlistError(
+                    f"input pin {pin} of cell {cell.name!r} is unconnected"
+                )
+            net = netlist.nets[net_index]
+            if (cell.index, pin) not in net.sinks:
+                raise NetlistError(
+                    f"pin bookkeeping mismatch: {cell.name!r}.{pin} references "
+                    f"net {net.name!r} which does not list it as a sink"
+                )
+        if cell.fanout_net is None and not cell.is_endpoint and not cell.is_startpoint:
+            # Dangling combinational output: harmless for timing but almost
+            # always a construction bug, so reject it.  (Unused input ports
+            # and flop Q pins are legal — real designs have them.)
+            raise NetlistError(f"cell {cell.name!r} drives nothing")
+    for net in netlist.nets:
+        driver = netlist.cells[net.driver]
+        if driver.fanout_net != net.index:
+            raise NetlistError(
+                f"net {net.name!r} claims driver {driver.name!r}, which "
+                f"drives net index {driver.fanout_net}"
+            )
+        if not net.sinks:
+            raise NetlistError(f"net {net.name!r} has no sinks")
+
+
+def _check_combinational_acyclic(netlist: Netlist) -> None:
+    """Detect cycles through combinational cells (flops legally break paths).
+
+    Iterative DFS with colors; recursion would overflow on deep designs.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = [WHITE] * netlist.num_cells
+
+    for start in range(netlist.num_cells):
+        if color[start] != WHITE or netlist.cells[start].is_sequential:
+            continue
+        stack: List[tuple] = [(start, iter(_comb_fanout(netlist, start)))]
+        color[start] = GRAY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color[child] == GRAY:
+                    raise NetlistError(
+                        f"combinational cycle through cell "
+                        f"{netlist.cells[child].name!r}"
+                    )
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, iter(_comb_fanout(netlist, child))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+
+
+def _comb_fanout(netlist: Netlist, cell_index: int) -> List[int]:
+    """Fanout cells reached without crossing a flop boundary."""
+    return [
+        sink
+        for sink in netlist.fanout_cells(cell_index)
+        if not netlist.cells[sink].is_sequential
+    ]

@@ -1,0 +1,64 @@
+"""Pointer-network attention used as the action decoder (paper Eq. 5–6).
+
+Given the LSTM query ``q_t`` and the EP-GNN endpoint embeddings
+``F_EP ∈ R^{|EP|×d}``, the attention score of endpoint *i* is
+
+    A_t^(i) = vᵀ tanh(W1 · F_EP^(i) + W2 · q_t)      (valid endpoints)
+    A_t^(i) = −∞                                      (selected/masked)
+
+and the selection distribution is ``softmax(A_t)`` — implemented as a masked
+softmax so invalid endpoints receive exactly zero probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import masked_softmax
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+class PointerAttention(Module):
+    """Additive (Bahdanau-style) attention producing selection logits."""
+
+    def __init__(self, embed_dim: int, query_dim: int, hidden_dim: int, rng: SeedLike = None):
+        super().__init__()
+        if min(embed_dim, query_dim, hidden_dim) <= 0:
+            raise ValueError("PointerAttention dimensions must be positive")
+        rng = as_rng(rng)
+        self.embed_dim = embed_dim
+        self.query_dim = query_dim
+        self.hidden_dim = hidden_dim
+        self.w1 = self.register_parameter("w1", init.xavier_uniform((embed_dim, hidden_dim), rng))
+        self.w2 = self.register_parameter("w2", init.xavier_uniform((query_dim, hidden_dim), rng))
+        self.v = self.register_parameter("v", init.xavier_uniform((hidden_dim,), rng))
+
+    def scores(self, embeddings: Tensor, query: Tensor) -> Tensor:
+        """Unmasked attention scores ``A_t ∈ R^{|EP|}`` (Eq. 5, valid branch)."""
+        if embeddings.ndim != 2 or embeddings.shape[1] != self.embed_dim:
+            raise ValueError(
+                f"embeddings must have shape (n, {self.embed_dim}), got {embeddings.shape}"
+            )
+        if query.shape != (self.query_dim,):
+            raise ValueError(
+                f"query must have shape ({self.query_dim},), got {query.shape}"
+            )
+        hidden = (embeddings @ self.w1 + query @ self.w2).tanh()
+        return hidden @ self.v
+
+    def forward(self, embeddings: Tensor, query: Tensor, valid: np.ndarray) -> Tensor:
+        """Selection probabilities ``P_t`` over endpoints (Eq. 6).
+
+        ``valid`` marks endpoints that are neither selected nor masked; they
+        are the only positions with non-zero probability.
+        """
+        return masked_softmax(self.scores(embeddings, query), np.asarray(valid, dtype=bool))
+
+    def __repr__(self) -> str:
+        return (
+            f"PointerAttention(embed_dim={self.embed_dim}, "
+            f"query_dim={self.query_dim}, hidden_dim={self.hidden_dim})"
+        )

@@ -1,0 +1,38 @@
+"""Parameter initialization schemes.
+
+The paper does not specify initializers beyond "randomly initialize all
+training parameters" (Algorithm 1 line 2); we use Xavier/Glorot uniform for
+projection matrices (standard for tanh/sigmoid networks like EP-GNN and the
+LSTM) and zeros for biases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def xavier_uniform(shape, rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform: U(−a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    rng = as_rng(rng)
+    if len(shape) < 1:
+        raise ValueError("xavier_uniform requires at least a 1-D shape")
+    if len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[0], shape[1]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape, low: float, high: float, rng: SeedLike = None) -> np.ndarray:
+    """Plain uniform initialization in [low, high)."""
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    return as_rng(rng).uniform(low, high, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros initialization (biases, LSTM initial state)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,183 @@
+"""Module system and dense layers.
+
+A :class:`Module` owns named :class:`~repro.nn.tensor.Tensor` parameters and
+child modules, and exposes the flat parameter list the optimizers and the
+REINFORCE trainer operate on.  The design intentionally mirrors the familiar
+torch ``nn.Module`` surface (``parameters()``, ``state_dict()``,
+``load_state_dict()``) so the agent code reads naturally.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Module:
+    """Base class for parameterized computations."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Tensor]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_parameter(self, name: str, data: np.ndarray) -> Tensor:
+        """Create a trainable tensor and track it under ``name``."""
+        if name in self._parameters:
+            raise ValueError(f"parameter {name!r} already registered")
+        param = Tensor(data, requires_grad=True, name=name)
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        """Track a child module under ``name``."""
+        if name in self._modules:
+            raise ValueError(f"module {name!r} already registered")
+        self._modules[name] = module
+        return module
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors of this module and its children."""
+        params = list(self._parameters.values())
+        for child in self._modules.values():
+            params.extend(child.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(dotted_name, tensor)`` pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # state (used by transfer learning, paper §IV-B)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values; shapes must match exactly.
+
+        With ``strict=False`` missing/extra keys are ignored, which is how the
+        transfer-learning flow loads a pre-trained EP-GNN into a fresh agent.
+        """
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if strict and (missing or extra):
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        for name, values in state.items():
+            if name not in own:
+                continue
+            param = own[name]
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"expected {param.data.shape}, got {values.shape}"
+                )
+            param.data = values.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` (bias optional)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng: SeedLike = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        rng = as_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", init.xavier_uniform((in_features, out_features), rng)
+        )
+        self.bias: Optional[Tensor] = None
+        if bias:
+            self.bias = self.register_parameter("bias", init.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+_ACTIVATIONS: Dict[str, Callable[[Tensor], Tensor]] = {
+    "tanh": lambda t: t.tanh(),
+    "sigmoid": lambda t: t.sigmoid(),
+    "relu": lambda t: t.relu(),
+    "identity": lambda t: t,
+}
+
+
+class MLP(Module):
+    """Stack of Linear layers with a shared activation between them."""
+
+    def __init__(
+        self,
+        dims: List[int],
+        activation: str = "tanh",
+        final_activation: str = "identity",
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dimensions")
+        if activation not in _ACTIVATIONS or final_activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation; choose from {sorted(_ACTIVATIONS)}"
+            )
+        rng = as_rng(rng)
+        self.dims = list(dims)
+        self._activation = activation
+        self._final_activation = final_activation
+        self.layers: List[Linear] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = Linear(d_in, d_out, rng=rng)
+            self.register_module(f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            is_last = i == len(self.layers) - 1
+            name = self._final_activation if is_last else self._activation
+            x = _ACTIVATIONS[name](x)
+        return x
+
+    def __repr__(self) -> str:
+        return f"MLP(dims={self.dims}, activation={self._activation!r})"

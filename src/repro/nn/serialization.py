@@ -1,0 +1,36 @@
+"""Saving and loading module parameters.
+
+Used by the transfer-learning flow (paper §IV-B): the EP-GNN trained on one
+set of designs is saved to disk, then loaded into a fresh agent targeting an
+unseen design (whose encoder/decoder stay randomly initialized).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Persist ``module.state_dict()`` to an ``.npz`` archive at ``path``."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no saved state at {path!r}")
+    with np.load(path) as archive:
+        return {name: archive[name].copy() for name in archive.files}
+
+
+def load_into(module: Module, path: str, strict: bool = True) -> None:
+    """Load parameters from ``path`` directly into ``module``."""
+    module.load_state_dict(load_state(path), strict=strict)

@@ -1,0 +1,5 @@
+"""Synthetic global placement and wire estimation."""
+
+from repro.placement.global_place import PlacementConfig, die_size, place_design
+
+__all__ = ["PlacementConfig", "die_size", "place_design"]

@@ -1,0 +1,17 @@
+"""Power estimation substrate."""
+
+from repro.power.models import (
+    PowerReport,
+    cell_internal_power,
+    cell_leakage_power,
+    net_switching_power,
+    report_power,
+)
+
+__all__ = [
+    "PowerReport",
+    "cell_internal_power",
+    "cell_leakage_power",
+    "net_switching_power",
+    "report_power",
+]

@@ -1,0 +1,94 @@
+"""Timing quality metrics: TNS, WNS, NVE.
+
+These are the quantities Table II reports per design and the reward signal
+of the RL agent (reward = final TNS, paper §III-A).  All metrics are defined
+on *true* slack (margins removed), matching the paper's evaluation: margins
+are a steering device, never part of the score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timing.sta import TimingReport
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """WNS / TNS / NVE triple plus endpoint count."""
+
+    wns: float
+    tns: float
+    nve: int
+    num_endpoints: int
+
+    def __str__(self) -> str:
+        return (
+            f"WNS={self.wns:8.3f}  TNS={self.tns:10.2f}  "
+            f"NVE={self.nve:5d}/{self.num_endpoints}"
+        )
+
+
+def wns(slack: np.ndarray) -> float:
+    """Worst negative slack: min slack, clamped at 0 when nothing violates."""
+    if slack.size == 0:
+        return 0.0
+    return float(min(slack.min(), 0.0))
+
+
+def tns(slack: np.ndarray) -> float:
+    """Total negative slack: sum of negative endpoint slacks (≤ 0)."""
+    if slack.size == 0:
+        return 0.0
+    return float(np.minimum(slack, 0.0).sum())
+
+
+def nve(slack: np.ndarray, tolerance: float = 1e-9) -> int:
+    """Number of violating endpoints (slack < −tolerance)."""
+    return int((slack < -tolerance).sum())
+
+
+def summarize(report: TimingReport) -> TimingSummary:
+    """Summarize a :class:`~repro.timing.sta.TimingReport` on true slack."""
+    return TimingSummary(
+        wns=wns(report.slack),
+        tns=tns(report.slack),
+        nve=nve(report.slack),
+        num_endpoints=int(report.slack.size),
+    )
+
+
+def violating_endpoints(report: TimingReport, tolerance: float = 1e-9) -> np.ndarray:
+    """Endpoint *cell indices* with negative true slack, worst first."""
+    mask = report.slack < -tolerance
+    cells = report.endpoints[mask]
+    order = np.argsort(report.slack[mask])
+    return cells[order]
+
+
+def choose_clock_period(
+    report: TimingReport,
+    period_used: float,
+    violating_fraction: float,
+    minimum: float = 1e-3,
+) -> float:
+    """Pick a clock period so ~``violating_fraction`` of endpoints violate.
+
+    Used by the benchmark suite to put each generated design in a realistic
+    post-global-placement state (paper Table II "begin" columns show
+    thousands of violating endpoints).  ``report`` must come from a
+    *zero-skew* analysis under period ``period_used``; each endpoint's
+    required time is ``period + c`` with a period-independent offset ``c``
+    (−setup for flops, 0 for ports), so the period that makes endpoint *e*
+    exactly critical is ``arrival(e) − (required(e) − period_used)``.  We
+    return the (1 − fraction) quantile of those critical periods.
+    """
+    if not 0.0 < violating_fraction < 1.0:
+        raise ValueError(
+            f"violating_fraction must be in (0, 1), got {violating_fraction}"
+        )
+    critical_period = report.arrival - (report.required - period_used)
+    quantile = float(np.quantile(critical_period, 1.0 - violating_fraction))
+    return max(minimum, quantile)

@@ -1,0 +1,550 @@
+"""Vectorized graph-based static timing analysis.
+
+The analyzer follows standard STA semantics on the cell-level graph:
+
+* **forward pass** — output arrival time ``A(v)`` and output slew ``S(v)``
+  propagate in topological (level) order; combinational delay follows the
+  library's linear NLDM-style model (intrinsic + drive·load + k·input-slew),
+  wire delay is Manhattan-distance based;
+* **launch** — input ports launch at t = 0; flop Q pins launch at
+  ``clock_arrival(f) + clk_to_q``;
+* **capture** — setup checks at flop D pins against
+  ``period + clock_arrival(f) − setup`` and at output ports against
+  ``period``;
+* **backward pass** — required times propagate backwards, giving the
+  per-cell "worst slack of paths through cell" used by Table-I features.
+
+Endpoint **margins** (the mechanism of Algorithm 1 line 14) are handled as a
+view: ``slack_with_margins = slack − margin`` so that downstream engines see
+artificially worsened endpoints while the true timing state is untouched —
+exactly how the paper applies and later removes margins.
+
+Designs here are a few thousand cells, so a full (re)compile + analysis is a
+few milliseconds; the CCD engines simply re-run STA after each move batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+from repro.timing.clock import ClockModel
+
+_NO_DRIVER = -1
+
+
+@dataclass
+class CompiledTiming:
+    """Array form of the netlist's timing graph (rebuilt after mutations)."""
+
+    netlist: Netlist
+    levels: List[np.ndarray]  # cells per topological level
+    fanin_idx: np.ndarray  # (n, max_pins) driver cell per pin, -1 pad
+    fanin_wire_delay: np.ndarray  # (n, max_pins)
+    load_cap: np.ndarray  # (n,)
+    intrinsic: np.ndarray
+    drive_res: np.ndarray
+    slew_sens: np.ndarray
+    slew_intr: np.ndarray
+    slew_load: np.ndarray
+    is_flop: np.ndarray
+    is_inport: np.ndarray
+    is_outport: np.ndarray
+    clk_to_q: np.ndarray
+    setup: np.ndarray
+    hold: np.ndarray
+    endpoint_cells: np.ndarray  # endpoint cell indices, canonical order
+    derate: float = 1.0
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA run.
+
+    ``slack``/``arrival``/``required`` are per *endpoint* in the canonical
+    order of ``endpoints``; cell-level quantities are full-length arrays.
+    """
+
+    endpoints: np.ndarray  # endpoint cell indices
+    arrival: np.ndarray  # data arrival at each endpoint (ns)
+    required: np.ndarray  # required time at each endpoint (ns)
+    slack: np.ndarray  # true slack, margins NOT subtracted
+    margins: np.ndarray  # margin per endpoint (0 where none)
+    cell_arrival: np.ndarray  # output arrival per cell
+    cell_slew: np.ndarray  # output slew per cell
+    cell_required: np.ndarray  # true output required per cell (+inf if unconstrained)
+    cell_worst_slack: np.ndarray  # true worst slack of paths through each cell
+    cell_worst_slack_margined: np.ndarray  # margin-aware worst slack view
+    # Hold (min-delay) results; populated only when analyze(..., include_hold=True):
+    hold_slack: Optional[np.ndarray] = None  # per endpoint (+inf at ports)
+    cell_min_arrival: Optional[np.ndarray] = None  # earliest output arrival
+
+    @property
+    def slack_with_margins(self) -> np.ndarray:
+        """Apparent slack seen by margin-aware engines (Algorithm 1 l.14)."""
+        return self.slack - self.margins
+
+    def endpoint_slack(self, cell_index: int) -> float:
+        """True slack of one endpoint cell."""
+        pos = np.nonzero(self.endpoints == cell_index)[0]
+        if pos.size == 0:
+            raise KeyError(f"cell {cell_index} is not an endpoint")
+        return float(self.slack[pos[0]])
+
+
+#: Default corner derates: typical, pessimistic-late (setup signoff) and
+#: optimistic-early (hold signoff).
+DEFAULT_CORNERS: Dict[str, float] = {"typ": 1.0, "slow": 1.08, "fast": 0.92}
+
+
+class TimingAnalyzer:
+    """STA facade bound to a netlist; recompile after netlist mutations.
+
+    Supports multi-corner analysis: ``analyze(..., corner="slow")`` runs on
+    a compiled view whose delays are scaled by the corner's derate
+    (:data:`DEFAULT_CORNERS` by default; override via ``corners``).
+    Compiled views are cached per corner and updated together on
+    :meth:`notify_resize`.
+    """
+
+    def __init__(self, netlist: Netlist, corners: Optional[Dict[str, float]] = None):
+        self.netlist = netlist
+        self.corners: Dict[str, float] = dict(corners or DEFAULT_CORNERS)
+        if "typ" not in self.corners:
+            self.corners["typ"] = 1.0
+        self._compiled: Dict[str, CompiledTiming] = {}
+
+    def invalidate(self) -> None:
+        """Drop all compiled views (call after structural mutations)."""
+        self._compiled = {}
+
+    def notify_resize(self, cell_index: int) -> None:
+        """Incrementally update every cached corner after one resize.
+
+        A size change touches only (a) the cell's own delay/slew
+        coefficients and (b) the load capacitance of every driver feeding
+        it (its input pin capacitance changed).  Topology, levels and
+        endpoints are untouched, so a full recompile — a Python pass over
+        every cell — is wasted work the data-path optimizer would otherwise
+        pay on every probe move.
+        """
+        netlist = self.netlist
+        cell = netlist.cells[cell_index]
+        size = cell.size
+        i = cell_index
+        for compiled in self._compiled.values():
+            d = compiled.derate
+            compiled.intrinsic[i] = d * size.intrinsic_delay
+            compiled.drive_res[i] = d * size.drive_resistance
+            compiled.slew_sens[i] = size.slew_sensitivity
+            compiled.slew_intr[i] = d * size.slew_intrinsic
+            compiled.slew_load[i] = d * size.slew_load_factor
+            for net_index in cell.fanin_nets:
+                if net_index is None:
+                    continue
+                driver = netlist.nets[net_index].driver
+                compiled.load_cap[driver] = netlist.net_load_cap(net_index)
+
+    @property
+    def compiled(self) -> CompiledTiming:
+        return self.compiled_for("typ")
+
+    def compiled_for(self, corner: str) -> CompiledTiming:
+        """The (cached) compiled timing graph of one corner."""
+        if corner not in self.corners:
+            raise KeyError(
+                f"unknown corner {corner!r}; available: {sorted(self.corners)}"
+            )
+        if corner not in self._compiled:
+            self._compiled[corner] = compile_timing(
+                self.netlist, derate=self.corners[corner]
+            )
+        return self._compiled[corner]
+
+    def analyze(
+        self,
+        clock: ClockModel,
+        margins: Optional[Mapping[int, float]] = None,
+        include_hold: bool = False,
+        corner: str = "typ",
+    ) -> TimingReport:
+        """Run full STA under ``clock``; see :class:`TimingReport`.
+
+        ``include_hold=True`` additionally runs the min-delay pass and fills
+        ``hold_slack`` / ``cell_min_arrival`` (conventionally run at the
+        ``"fast"`` corner, where races are worst).
+        """
+        return analyze(
+            self.compiled_for(corner), clock, margins, include_hold=include_hold
+        )
+
+
+def compile_timing(netlist: Netlist, derate: float = 1.0) -> CompiledTiming:
+    """Build the array representation of the current netlist state.
+
+    ``derate`` scales every delay-producing coefficient (intrinsic, drive,
+    slew factors, wire delay) — the standard corner model: a *slow* corner
+    derates late (>1), a *fast* corner derates early (<1).  Capacitances
+    and sequential setup/hold constraints are corner-independent here.
+    """
+    if derate <= 0:
+        raise ValueError(f"derate must be positive, got {derate}")
+    n = netlist.num_cells
+    max_pins = max((c.cell_type.num_inputs for c in netlist.cells), default=1)
+    max_pins = max(max_pins, 1)
+
+    fanin_idx = np.full((n, max_pins), _NO_DRIVER, dtype=np.int64)
+    fanin_wire = np.zeros((n, max_pins), dtype=np.float64)
+    load_cap = np.zeros(n, dtype=np.float64)
+    intrinsic = np.zeros(n)
+    drive_res = np.zeros(n)
+    slew_sens = np.zeros(n)
+    slew_intr = np.zeros(n)
+    slew_load = np.zeros(n)
+    is_flop = np.zeros(n, dtype=bool)
+    is_inport = np.zeros(n, dtype=bool)
+    is_outport = np.zeros(n, dtype=bool)
+    clk_to_q = np.zeros(n)
+    setup = np.zeros(n)
+    hold = np.zeros(n)
+
+    wire_coeff = (
+        derate * netlist.parasitic_scale * netlist.library.wire_res_delay_per_um
+    )
+
+    for cell in netlist.cells:
+        size = cell.size
+        intrinsic[cell.index] = derate * size.intrinsic_delay
+        drive_res[cell.index] = derate * size.drive_resistance
+        slew_sens[cell.index] = size.slew_sensitivity
+        slew_intr[cell.index] = derate * size.slew_intrinsic
+        slew_load[cell.index] = derate * size.slew_load_factor
+        is_flop[cell.index] = cell.is_sequential
+        is_inport[cell.index] = cell.is_input_port
+        is_outport[cell.index] = cell.is_output_port
+        if cell.is_sequential:
+            # Clock-to-Q is a real delay and derates with the corner;
+            # setup/hold are constraint values and stay corner-independent.
+            clk_to_q[cell.index] = derate * cell.cell_type.clk_to_q
+            setup[cell.index] = cell.cell_type.setup_time
+            hold[cell.index] = cell.cell_type.hold_time
+        for pin, net_index in enumerate(cell.fanin_nets):
+            if net_index is None:
+                continue
+            driver = netlist.nets[net_index].driver
+            fanin_idx[cell.index, pin] = driver
+            driver_cell = netlist.cells[driver]
+            dist = abs(driver_cell.x - cell.x) + abs(driver_cell.y - cell.y)
+            fanin_wire[cell.index, pin] = wire_coeff * dist
+        if cell.fanout_net is not None:
+            load_cap[cell.index] = netlist.net_load_cap(cell.fanout_net)
+
+    levels = _levelize(netlist, fanin_idx, is_flop, is_inport)
+    endpoint_cells = np.array(netlist.endpoints(), dtype=np.int64)
+    return CompiledTiming(
+        netlist=netlist,
+        levels=levels,
+        fanin_idx=fanin_idx,
+        fanin_wire_delay=fanin_wire,
+        load_cap=load_cap,
+        intrinsic=intrinsic,
+        drive_res=drive_res,
+        slew_sens=slew_sens,
+        slew_intr=slew_intr,
+        slew_load=slew_load,
+        is_flop=is_flop,
+        is_inport=is_inport,
+        is_outport=is_outport,
+        clk_to_q=clk_to_q,
+        setup=setup,
+        hold=hold,
+        endpoint_cells=endpoint_cells,
+        derate=derate,
+    )
+
+
+def _levelize(
+    netlist: Netlist,
+    fanin_idx: np.ndarray,
+    is_flop: np.ndarray,
+    is_inport: np.ndarray,
+) -> List[np.ndarray]:
+    """Topological levels over *data* edges (flop outputs are sources).
+
+    Level 0 holds all launch points (flops, input ports); a combinational
+    cell's level is 1 + max of its drivers' levels (flop drivers count as 0).
+    """
+    n = len(netlist.cells)
+    level = np.zeros(n, dtype=np.int64)
+    # Kahn over combinational dependency edges: cell v depends on driver u
+    # unless u is sequential or an input port (those are timing sources).
+    # Flops themselves are also sources — their *output* arrival depends only
+    # on the clock, never on their D input (the D-side setup check reads the
+    # driver arrivals directly) — so no dependency edges point INTO a flop.
+    indegree = np.zeros(n, dtype=np.int64)
+    fanout_lists: List[List[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        if is_flop[v]:
+            continue
+        for u in fanin_idx[v]:
+            if u == _NO_DRIVER:
+                continue
+            if is_flop[u] or is_inport[u]:
+                continue
+            indegree[v] += 1
+            fanout_lists[u].append(v)
+    from collections import deque
+
+    queue = deque(int(v) for v in np.nonzero(indegree == 0)[0])
+    seen = 0
+    while queue:
+        u = queue.popleft()
+        seen += 1
+        for v in fanout_lists[u]:
+            level[v] = max(level[v], level[u] + 1)
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                queue.append(v)
+    if seen != n:
+        raise ValueError(
+            "timing graph contains a combinational cycle; run validate_netlist"
+        )
+    max_level = int(level.max()) if n else 0
+    return [np.nonzero(level == k)[0] for k in range(max_level + 1)]
+
+
+def analyze(
+    compiled: CompiledTiming,
+    clock: ClockModel,
+    margins: Optional[Mapping[int, float]] = None,
+    include_hold: bool = False,
+) -> TimingReport:
+    """Forward + backward STA under ``clock`` (see module docstring).
+
+    Setup (max-delay) analysis always runs; ``include_hold=True`` adds the
+    min-delay pass: earliest arrivals propagate with ``min`` instead of
+    ``max`` and each flop's hold check is
+    ``hold_slack = min_arrival(D) − (clock_arrival + t_hold)`` — data must
+    not race through and corrupt the *same-edge* capture.  Delaying a flop's
+    clock (positive useful skew) therefore erodes its hold slack one-for-one,
+    which is the guard :class:`repro.ccd.useful_skew.UsefulSkewConfig`
+    ``respect_hold`` enforces."""
+    n = compiled.fanin_idx.shape[0]
+    arrival = np.zeros(n)
+    slew = np.zeros(n)
+    margins = dict(margins or {})
+
+    clock_arrival = np.zeros(n)
+    flop_indices = np.nonzero(compiled.is_flop)[0]
+    for f in flop_indices:
+        clock_arrival[f] = clock.arrival(int(f))
+
+    # ---------------- forward propagation ---------------------------- #
+    # Sources: input ports launch at 0, flops at clock + clk_to_q; both then
+    # see their own drive delay onto the net.
+    src_driver_delay = compiled.drive_res * compiled.load_cap
+
+    for level_cells in compiled.levels:
+        if level_cells.size == 0:
+            continue
+        lc = level_cells
+        flop_mask = compiled.is_flop[lc]
+        inport_mask = compiled.is_inport[lc]
+        comb_mask = ~(flop_mask | inport_mask)
+
+        # Launch points.
+        if flop_mask.any():
+            f = lc[flop_mask]
+            arrival[f] = clock_arrival[f] + compiled.clk_to_q[f] + src_driver_delay[f]
+            slew[f] = compiled.slew_intr[f] + compiled.slew_load[f] * compiled.load_cap[f]
+        if inport_mask.any():
+            p = lc[inport_mask]
+            arrival[p] = src_driver_delay[p]
+            slew[p] = compiled.slew_intr[p] + compiled.slew_load[p] * compiled.load_cap[p]
+
+        # Combinational cells (and output ports, which get pin arrival only).
+        if comb_mask.any():
+            c = lc[comb_mask]
+            drivers = compiled.fanin_idx[c]  # (m, pins)
+            valid = drivers != _NO_DRIVER
+            drv = np.where(valid, drivers, 0)
+            in_arr = np.where(valid, arrival[drv] + compiled.fanin_wire_delay[c], -np.inf)
+            in_slew = np.where(valid, slew[drv], 0.0)
+            gate_delay = (
+                compiled.intrinsic[c][:, None]
+                + compiled.slew_sens[c][:, None] * in_slew
+            )
+            # Output ports consume only: no gate delay, no drive.
+            outport = compiled.is_outport[c]
+            per_pin = in_arr + np.where(outport[:, None], 0.0, gate_delay)
+            a = per_pin.max(axis=1)
+            # Load-dependent drive delay added once at the output.
+            a = a + np.where(outport, 0.0, compiled.drive_res[c] * compiled.load_cap[c])
+            arrival[c] = a
+            slew[c] = compiled.slew_intr[c] + compiled.slew_load[c] * compiled.load_cap[c]
+
+    # ---------------- endpoint checks --------------------------------- #
+    eps = compiled.endpoint_cells
+    ep_arrival = np.zeros(eps.size)
+    ep_required = np.zeros(eps.size)
+    for k, e in enumerate(eps):
+        drivers = compiled.fanin_idx[e]
+        pin_arr = [
+            arrival[d] + compiled.fanin_wire_delay[e, p]
+            for p, d in enumerate(drivers)
+            if d != _NO_DRIVER
+        ]
+        ep_arrival[k] = max(pin_arr) if pin_arr else 0.0
+        if compiled.is_flop[e]:
+            ep_required[k] = clock.period + clock_arrival[e] - compiled.setup[e]
+        else:  # output port, virtual capture clock at period
+            ep_required[k] = clock.period
+    ep_slack = ep_required - ep_arrival
+    ep_margin = np.array([float(margins.get(int(e), 0.0)) for e in eps])
+
+    # ---------------- backward required propagation ------------------- #
+    # Two views: *true* required times (real timing state) and, when margins
+    # are present, a *margin-aware* view whose endpoint seeds are worsened by
+    # the margins.  The CCD engines use the true view to bound how much slack
+    # they may steal and the margin-aware view to prioritize/protect the
+    # selected endpoints.
+    required_true = _backward_required(compiled, slew, ep_required)
+    if ep_margin.any():
+        required_eff = _backward_required(compiled, slew, ep_required - ep_margin)
+    else:
+        required_eff = required_true
+
+    worst_slack_true = np.where(
+        np.isfinite(required_true), required_true - arrival, np.inf
+    )
+    worst_slack_eff = np.where(
+        np.isfinite(required_eff), required_eff - arrival, np.inf
+    )
+
+    # ---------------- optional hold (min-delay) pass ------------------- #
+    hold_slack = None
+    min_arrival = None
+    if include_hold:
+        min_arrival = _forward_min_arrival(compiled, slew, clock_arrival)
+        hold_slack = np.full(eps.size, np.inf)
+        for k, e in enumerate(eps):
+            if not compiled.is_flop[e]:
+                continue  # ports have no same-edge race check
+            pins = [
+                min_arrival[d] + compiled.fanin_wire_delay[e, p]
+                for p, d in enumerate(compiled.fanin_idx[e])
+                if d != _NO_DRIVER
+            ]
+            earliest = min(pins) if pins else np.inf
+            hold_slack[k] = earliest - (clock_arrival[e] + compiled.hold[e])
+
+    return TimingReport(
+        endpoints=eps,
+        arrival=ep_arrival,
+        required=ep_required,
+        slack=ep_slack,
+        margins=ep_margin,
+        cell_arrival=arrival,
+        cell_slew=slew,
+        cell_required=required_true,
+        cell_worst_slack=worst_slack_true,
+        cell_worst_slack_margined=worst_slack_eff,
+        hold_slack=hold_slack,
+        cell_min_arrival=min_arrival,
+    )
+
+
+def _forward_min_arrival(
+    compiled: CompiledTiming, slew: np.ndarray, clock_arrival: np.ndarray
+) -> np.ndarray:
+    """Earliest-arrival forward pass (min over pins; same delay model).
+
+    Uses the already-computed (max-corner) slews — a conservative single-
+    corner simplification: real min-delay analysis would use a fast corner,
+    but the structural behaviour (short paths race, skew erodes hold) is
+    identical.
+    """
+    n = compiled.fanin_idx.shape[0]
+    min_arrival = np.zeros(n)
+    src_driver_delay = compiled.drive_res * compiled.load_cap
+    for level_cells in compiled.levels:
+        if level_cells.size == 0:
+            continue
+        lc = level_cells
+        flop_mask = compiled.is_flop[lc]
+        inport_mask = compiled.is_inport[lc]
+        comb_mask = ~(flop_mask | inport_mask)
+        if flop_mask.any():
+            f = lc[flop_mask]
+            min_arrival[f] = (
+                clock_arrival[f] + compiled.clk_to_q[f] + src_driver_delay[f]
+            )
+        if inport_mask.any():
+            p = lc[inport_mask]
+            min_arrival[p] = src_driver_delay[p]
+        if comb_mask.any():
+            c = lc[comb_mask]
+            drivers = compiled.fanin_idx[c]
+            valid = drivers != _NO_DRIVER
+            drv = np.where(valid, drivers, 0)
+            in_arr = np.where(
+                valid, min_arrival[drv] + compiled.fanin_wire_delay[c], np.inf
+            )
+            in_slew = np.where(valid, slew[drv], 0.0)
+            gate_delay = (
+                compiled.intrinsic[c][:, None]
+                + compiled.slew_sens[c][:, None] * in_slew
+            )
+            outport = compiled.is_outport[c]
+            per_pin = in_arr + np.where(outport[:, None], 0.0, gate_delay)
+            a = per_pin.min(axis=1)
+            a = a + np.where(
+                outport, 0.0, compiled.drive_res[c] * compiled.load_cap[c]
+            )
+            min_arrival[c] = a
+    return min_arrival
+
+
+def _backward_required(
+    compiled: CompiledTiming, slew: np.ndarray, endpoint_required: np.ndarray
+) -> np.ndarray:
+    """Vectorized backward pass from the given endpoint required times."""
+    n = compiled.fanin_idx.shape[0]
+    required = np.full(n, np.inf)
+    eps = compiled.endpoint_cells
+
+    # Seed: required at endpoint input pins mapped onto their drivers.
+    ep_drivers = compiled.fanin_idx[eps]  # (m, pins)
+    valid = ep_drivers != _NO_DRIVER
+    seed_req = endpoint_required[:, None] - compiled.fanin_wire_delay[eps]
+    np.minimum.at(
+        required, ep_drivers[valid], np.broadcast_to(seed_req, ep_drivers.shape)[valid]
+    )
+
+    # Walk levels backwards: a driver's required is the min over its comb
+    # sinks v of (required[v] − gate delay(v) − wire(u→v)).
+    for level_cells in reversed(compiled.levels):
+        if level_cells.size == 0:
+            continue
+        mask = ~(
+            compiled.is_flop[level_cells]
+            | compiled.is_inport[level_cells]
+            | compiled.is_outport[level_cells]
+        )
+        c = level_cells[mask]
+        if c.size == 0:
+            continue
+        drivers = compiled.fanin_idx[c]  # (m, pins)
+        valid = drivers != _NO_DRIVER
+        drv = np.where(valid, drivers, 0)
+        gate_delay = (
+            compiled.intrinsic[c][:, None]
+            + compiled.slew_sens[c][:, None] * slew[drv]
+            + (compiled.drive_res[c] * compiled.load_cap[c])[:, None]
+        )
+        req = required[c][:, None] - gate_delay - compiled.fanin_wire_delay[c]
+        np.minimum.at(required, drivers[valid], req[valid])
+    return required

@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG handling, configuration, validation, logging."""
+
+from repro.utils.rng import RngMixin, as_rng, spawn_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngMixin",
+    "as_rng",
+    "spawn_rng",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

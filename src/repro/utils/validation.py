@@ -1,0 +1,49 @@
+"""Argument-validation helpers used across the library.
+
+These raise uniform, descriptive errors so public-API misuse fails loudly at
+the boundary instead of producing NaNs deep inside the STA or the autograd
+engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check_type(name: str, value: Any, types: Union[Type, Tuple[Type, ...]]) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expect = " or ".join(t.__name__ for t in types)
+        else:
+            expect = types.__name__
+        raise TypeError(f"{name} must be {expect}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` > 0."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value

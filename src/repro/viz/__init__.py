@@ -1,0 +1,11 @@
+"""Terminal visualization (ASCII sparklines, histograms, plots)."""
+
+from repro.viz.ascii_plots import (
+    histogram,
+    line_plot,
+    scatter,
+    slack_profile,
+    sparkline,
+)
+
+__all__ = ["sparkline", "histogram", "line_plot", "scatter", "slack_profile"]

@@ -1,0 +1,168 @@
+"""Terminal-friendly visualization primitives.
+
+Pure-text renderers used by the benchmark reports and the examples: no
+matplotlib dependency, deterministic output, safe to diff in CI logs.
+
+* :func:`sparkline` — one-line trend of a numeric series;
+* :func:`histogram` — vertical-bar ASCII histogram;
+* :func:`line_plot` — multi-series dot plot on a character canvas;
+* :func:`scatter` — 2-D scatter (e.g. placement maps);
+* :func:`slack_profile` — sorted endpoint-slack curve with the zero line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compress a series into one line of block characters."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return "·" * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for v in arr:
+        if not np.isfinite(v):
+            chars.append("·")
+            continue
+        t = 0.0 if span == 0 else (v - lo) / span
+        chars.append(_SPARK_CHARS[int(round(t * (len(_SPARK_CHARS) - 1)))])
+    return "".join(chars)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """Horizontal-bar histogram with bin ranges and counts."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return f"{label}(no data)"
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(1, int(counts.max()))
+    lines = [label] if label else []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(
+            f"[{edges[i]:>+9.3f},{edges[i + 1]:>+9.3f}) {int(count):>6} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Plot one or more series as dots on a character canvas.
+
+    Series markers cycle through ``* + o x``; the y-range covers all series.
+    """
+    markers = "*+ox#@"
+    cleaned = {
+        name: np.asarray(list(vals), dtype=float)
+        for name, vals in series.items()
+        if len(list(vals)) > 0
+    }
+    if not cleaned:
+        return f"{title}(no data)"
+    all_vals = np.concatenate(list(cleaned.values()))
+    finite = all_vals[np.isfinite(all_vals)]
+    if finite.size == 0:
+        return f"{title}(no finite data)"
+    lo, hi = float(finite.min()), float(finite.max())
+    if lo == hi:
+        lo, hi = lo - 1.0, hi + 1.0
+    max_len = max(v.size for v in cleaned.values())
+
+    canvas = [[" "] * width for _ in range(height)]
+    for s_idx, (name, vals) in enumerate(cleaned.items()):
+        marker = markers[s_idx % len(markers)]
+        for i, v in enumerate(vals):
+            if not np.isfinite(v):
+                continue
+            col = 0 if max_len == 1 else int(round(i * (width - 1) / (max_len - 1)))
+            row = int(round((hi - v) / (hi - lo) * (height - 1)))
+            canvas[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:>10.3f} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{lo:>10.3f} ┤" + "".join(canvas[-1]))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(cleaned)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 48,
+    height: int = 20,
+    title: str = "",
+    marker: str = "•",
+    highlight: Optional[Sequence[Tuple[float, float]]] = None,
+) -> str:
+    """2-D scatter on a character canvas (e.g. cell placement maps).
+
+    ``highlight`` points render as ``X`` on top of the base layer.
+    """
+    pts = list(points)
+    if not pts:
+        return f"{title}(no data)"
+    xs = np.array([p[0] for p in pts])
+    ys = np.array([p[1] for p in pts])
+    x0, x1 = float(xs.min()), float(xs.max())
+    y0, y1 = float(ys.min()), float(ys.max())
+    if x0 == x1:
+        x0, x1 = x0 - 1, x1 + 1
+    if y0 == y1:
+        y0, y1 = y0 - 1, y1 + 1
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def place(px: float, py: float, char: str) -> None:
+        col = int(round((px - x0) / (x1 - x0) * (width - 1)))
+        row = int(round((y1 - py) / (y1 - y0) * (height - 1)))
+        canvas[row][col] = char
+
+    for px, py in pts:
+        place(px, py, marker)
+    for px, py in highlight or ():
+        place(px, py, "X")
+    lines = [title] if title else []
+    lines.extend("".join(row) for row in canvas)
+    return "\n".join(lines)
+
+
+def slack_profile(slack: Sequence[float], width: int = 60, height: int = 12) -> str:
+    """Sorted endpoint-slack curve with a marked zero crossing.
+
+    The left end is the WNS endpoint; the distance of the curve below the
+    ``0 ──`` line visualizes TNS.
+    """
+    arr = np.sort(np.asarray(list(slack), dtype=float))
+    if arr.size == 0:
+        return "(no endpoints)"
+    plot = line_plot({"slack": arr}, height=height, width=width)
+    violating = int((arr < 0).sum())
+    return (
+        f"{plot}\n"
+        f"endpoints sorted by slack; {violating}/{arr.size} violating, "
+        f"WNS {arr[0]:+.3f}, TNS {np.minimum(arr, 0).sum():+.3f}"
+    )

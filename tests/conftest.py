@@ -1,0 +1,71 @@
+"""Shared fixtures: small placed designs and their timing context."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccd.flow import FlowConfig
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.generator import quick_design
+from repro.netlist.library import get_library
+from repro.placement.global_place import PlacementConfig, place_design
+from repro.timing.clock import ClockModel
+from repro.timing.metrics import choose_clock_period
+from repro.timing.sta import TimingAnalyzer
+
+
+@pytest.fixture(scope="session")
+def small_design():
+    """A ~400-cell placed design with a period giving ~35% violations.
+
+    Session-scoped and treated as READ-ONLY by tests; anything that mutates
+    the netlist must snapshot/restore or use ``fresh_design``.
+    """
+    netlist = quick_design(name="fixture400", n_cells=400, seed=5)
+    place_design(netlist, PlacementConfig(seed=2))
+    analyzer = TimingAnalyzer(netlist)
+    nominal = netlist.library.default_clock_period
+    report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))
+    period = choose_clock_period(report, nominal, 0.35)
+    return netlist, period
+
+
+@pytest.fixture
+def fresh_design():
+    """Like ``small_design`` but function-scoped for mutating tests."""
+    netlist = quick_design(name="fixture_fresh", n_cells=350, seed=9)
+    place_design(netlist, PlacementConfig(seed=3))
+    analyzer = TimingAnalyzer(netlist)
+    nominal = netlist.library.default_clock_period
+    report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))
+    period = choose_clock_period(report, nominal, 0.35)
+    return netlist, period
+
+
+@pytest.fixture
+def tiny_pipeline():
+    """A hand-built 2-stage pipeline: in -> g1 -> ff1 -> g2 -> ff2 -> out.
+
+    Small enough to reason about timing by hand in tests.
+    """
+    lib = get_library("tech7")
+    b = NetlistBuilder("tiny", lib)
+    a = b.add_input("a")
+    x = b.add_input("x")
+    g1 = b.add_gate("NAND2", "g1", [a, x])
+    ff1 = b.add_flop("ff1", g1, skew_bound=0.2)
+    g2 = b.add_gate("INV", "g2", [ff1])
+    ff2 = b.add_flop("ff2", g2, skew_bound=0.2)
+    g3 = b.add_gate("BUF", "g3", [ff2])
+    b.add_output("y", g3)
+    netlist = b.build()
+    for i, cell in enumerate(netlist.cells):
+        cell.x = 10.0 * i
+        cell.y = 5.0
+    return netlist
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,105 @@
+"""Tests for the endpoint sensitivity analyzer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    analyze_sensitivity,
+    select_clock_sensitive,
+)
+from repro.timing.clock import ClockModel
+from repro.timing.metrics import violating_endpoints
+from repro.timing.sta import TimingAnalyzer
+
+
+class TestAnalyzeSensitivity:
+    def test_covers_every_violating_endpoint(self, small_design):
+        nl, period = small_design
+        rep = TimingAnalyzer(nl).analyze(ClockModel.for_netlist(nl, period))
+        report = analyze_sensitivity(nl, period)
+        assert len(report.entries) == len(violating_endpoints(rep))
+        assert report.design == nl.name
+
+    def test_entries_sorted_worst_first(self, small_design):
+        nl, period = small_design
+        report = analyze_sensitivity(nl, period)
+        slacks = [e.slack for e in report.entries]
+        assert slacks == sorted(slacks)
+
+    def test_fixabilities_in_unit_interval(self, small_design):
+        nl, period = small_design
+        for e in analyze_sensitivity(nl, period).entries:
+            assert 0.0 <= e.clock_fixability <= 1.0
+            assert 0.0 <= e.data_fixability <= 1.0
+            assert e.deficit == pytest.approx(-e.slack)
+
+    def test_output_ports_have_zero_clock_fixability(self, small_design):
+        nl, period = small_design
+        for e in analyze_sensitivity(nl, period).entries:
+            if nl.cells[e.endpoint].is_output_port:
+                assert e.clock_fixability == 0.0
+
+    def test_rigid_flop_limits_clock_fixability(self, small_design):
+        nl, period = small_design
+        for e in analyze_sensitivity(nl, period).entries:
+            cell = nl.cells[e.endpoint]
+            if cell.is_sequential and nl.skew_bounds.get(e.endpoint, 0) == 0.0:
+                assert e.clock_fixability == 0.0
+
+    def test_classification_partitions(self, small_design):
+        nl, period = small_design
+        report = analyze_sensitivity(nl, period)
+        counts = report.counts()
+        assert sum(counts.values()) == len(report.entries)
+        assert set(counts) == {"clock", "data", "both", "stuck"}
+
+    def test_threshold_changes_classes(self, small_design):
+        nl, period = small_design
+        strict = analyze_sensitivity(nl, period, fix_threshold=0.95)
+        loose = analyze_sensitivity(nl, period, fix_threshold=0.05)
+        assert strict.counts()["stuck"] >= loose.counts()["stuck"]
+
+    def test_invalid_threshold_raises(self, small_design):
+        nl, period = small_design
+        with pytest.raises(ValueError):
+            analyze_sensitivity(nl, period, fix_threshold=0.0)
+
+    def test_str_renders(self, small_design):
+        nl, period = small_design
+        text = str(analyze_sensitivity(nl, period))
+        assert "sensitivity report" in text
+        assert "clockfix" in text
+
+
+class TestSelectClockSensitive:
+    def test_selection_is_violating_and_unique(self, small_design):
+        nl, period = small_design
+        rep = TimingAnalyzer(nl).analyze(ClockModel.for_netlist(nl, period))
+        viol = set(int(e) for e in violating_endpoints(rep))
+        selection = select_clock_sensitive(nl, period)
+        assert len(set(selection)) == len(selection)
+        assert set(selection) <= viol
+
+    def test_max_count_respected(self, small_design):
+        nl, period = small_design
+        assert len(select_clock_sensitive(nl, period, max_count=3)) <= 3
+
+    def test_pure_clock_endpoints_come_first(self, small_design):
+        nl, period = small_design
+        report = analyze_sensitivity(nl, period)
+        pure = {e.endpoint for e in report.entries if e.classification == "clock"}
+        selection = select_clock_sensitive(nl, period)
+        if pure and len(selection) > len(pure):
+            assert set(selection[: len(pure)]) == pure
+
+    def test_usable_as_flow_selection(self, fresh_design):
+        from repro.ccd.flow import FlowConfig, restore_netlist_state, run_flow, snapshot_netlist_state
+
+        nl, period = fresh_design
+        selection = select_clock_sensitive(nl, period, max_count=8)
+        snap = snapshot_netlist_state(nl)
+        result = run_flow(nl, FlowConfig(clock_period=period), selection)
+        restore_netlist_state(nl, snap)
+        assert result.final.tns >= result.begin.tns

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_blocks_lists_all(self, capsys):
+        assert main(["blocks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("block1", "block10", "block19"):
+            assert name in out
+        assert "tech5" in out and "tech12" in out
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_table2_single_block(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "1200")  # tiny + fast
+        assert main(["table2", "--blocks", "block10", "--episodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "block10" in out
+        assert "RL-CCD" in out
+
+    def test_fig5_runs_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "1200")  # block11 -> 150 cells
+        assert main(["fig5", "--episodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.5" in out
+        assert "block11" in out

@@ -1,0 +1,172 @@
+"""Tests for the H-tree clock synthesis substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cts.htree import ClockTree, ClockTreeConfig, apply_clock_tree
+from repro.netlist.generator import quick_design
+from repro.placement.global_place import PlacementConfig, place_design
+
+
+@pytest.fixture(scope="module")
+def placed():
+    nl = quick_design(name="cts_fix", n_cells=400, seed=33)
+    place_design(nl, PlacementConfig(seed=2))
+    return nl
+
+
+@pytest.fixture(scope="module")
+def tree(placed):
+    return ClockTree(placed, ClockTreeConfig(levels=3))
+
+
+class TestConstruction:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ClockTreeConfig(levels=0)
+        with pytest.raises(ValueError):
+            ClockTreeConfig(buffer_delay=0.0)
+
+    def test_node_count_is_quadtree(self, tree):
+        # 1 root + 4 + 16 + 64 for 3 levels.
+        assert len(tree.nodes) == 1 + 4 + 16 + 64
+        assert tree.num_levels == 4
+
+    def test_leaf_count(self, tree):
+        assert len(tree.leaves()) == 64
+
+    def test_every_flop_attached(self, placed, tree):
+        for flop in placed.sequential_cells():
+            leaf = tree.leaf_of(flop)
+            assert flop in leaf.sinks
+
+    def test_unknown_flop_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.leaf_of(10**9)
+
+    def test_flops_attach_to_nearest_leaf(self, placed, tree):
+        leaves = tree.leaves()
+        for flop in placed.sequential_cells()[:10]:
+            cell = placed.cells[flop]
+            own = tree.leaf_of(flop)
+            own_dist = abs(own.x - cell.x) + abs(own.y - cell.y)
+            best = min(abs(n.x - cell.x) + abs(n.y - cell.y) for n in leaves)
+            assert own_dist == pytest.approx(best)
+
+    def test_root_path_descends_levels(self, placed, tree):
+        flop = placed.sequential_cells()[0]
+        path = tree.root_path(flop)
+        assert path[0].level == 0
+        assert [n.level for n in path] == list(range(len(path)))
+
+
+class TestDelaysAndBounds:
+    def test_insertion_delay_positive(self, placed, tree):
+        for flop in placed.sequential_cells():
+            assert tree.insertion_delay(flop) > 0
+
+    def test_insertion_delay_at_least_buffer_chain(self, placed, tree):
+        cfg = tree.config
+        min_chain = cfg.buffer_delay * (tree.num_levels)
+        for flop in placed.sequential_cells()[:10]:
+            assert tree.insertion_delay(flop) >= min_chain - 1e-12
+
+    def test_skew_bounds_positive(self, placed, tree):
+        for flop in placed.sequential_cells():
+            assert tree.skew_bound(flop) > 0
+
+    def test_crowded_leaf_reduces_bound(self, placed):
+        """More siblings on the same leaf => smaller per-flop bound."""
+        tree = ClockTree(placed, ClockTreeConfig(levels=2))
+        leaves = {n.index: n for n in tree.leaves()}
+        by_crowding = sorted(
+            (len(n.sinks), tree.skew_bound(n.sinks[0]))
+            for n in leaves.values()
+            if n.sinks
+        )
+        if len(by_crowding) >= 2 and by_crowding[0][0] != by_crowding[-1][0]:
+            assert by_crowding[0][1] >= by_crowding[-1][1]
+
+    def test_global_skew_nonnegative(self, tree):
+        assert tree.global_skew() >= 0.0
+
+    def test_deeper_tree_larger_bounds(self, placed):
+        shallow = ClockTree(placed, ClockTreeConfig(levels=2))
+        deep = ClockTree(placed, ClockTreeConfig(levels=4))
+        flop = placed.sequential_cells()[0]
+        # More stages along the path => more retuning headroom (before the
+        # crowding discount, which deeper trees also reduce via spreading).
+        assert len(deep.root_path(flop)) > len(shallow.root_path(flop))
+
+
+class TestApply:
+    def test_apply_overwrites_bounds(self):
+        nl = quick_design(name="cts_apply", n_cells=300, seed=34)
+        place_design(nl, PlacementConfig(seed=2))
+        before = dict(nl.skew_bounds)
+        delays = apply_clock_tree(nl)
+        assert set(delays) == set(nl.sequential_cells())
+        assert nl.skew_bounds != before
+        for flop, bound in nl.skew_bounds.items():
+            assert bound > 0
+
+    def test_applied_bounds_work_with_flow(self):
+        from repro.ccd.flow import FlowConfig, run_flow
+        from repro.timing.clock import ClockModel
+        from repro.timing.metrics import choose_clock_period
+        from repro.timing.sta import TimingAnalyzer
+
+        nl = quick_design(name="cts_flow", n_cells=300, seed=35)
+        place_design(nl, PlacementConfig(seed=2))
+        apply_clock_tree(nl)
+        analyzer = TimingAnalyzer(nl)
+        nominal = nl.library.default_clock_period
+        rep = analyzer.analyze(ClockModel.for_netlist(nl, nominal))
+        period = choose_clock_period(rep, nominal, 0.35)
+        result = run_flow(nl, FlowConfig(clock_period=period))
+        assert result.final.tns >= result.begin.tns
+
+
+class TestCtsWithFullFlow:
+    def test_tree_bounds_with_rl_environment(self):
+        """The full RL environment works on tree-derived skew bounds."""
+        from repro.agent.env import EndpointSelectionEnv
+        from repro.netlist.generator import quick_design
+        from repro.timing.clock import ClockModel
+        from repro.timing.metrics import choose_clock_period
+        from repro.timing.sta import TimingAnalyzer
+
+        nl = quick_design(name="cts_rl", n_cells=300, seed=36)
+        place_design(nl, PlacementConfig(seed=2))
+        apply_clock_tree(nl)
+        analyzer = TimingAnalyzer(nl)
+        nominal = nl.library.default_clock_period
+        rep = analyzer.analyze(ClockModel.for_netlist(nl, nominal))
+        period = choose_clock_period(rep, nominal, 0.35)
+        env = EndpointSelectionEnv(nl, period)
+        state = env.reset()
+        assert env.num_endpoints > 0
+        env.step(0)
+        assert len(env.selected_cells()) == 1
+
+    def test_insertion_delays_usable_as_initial_arrivals(self):
+        """Insertion delays can seed clock arrivals when bounds allow it."""
+        from repro.netlist.generator import quick_design
+        from repro.timing.clock import ClockModel
+
+        nl = quick_design(name="cts_seed", n_cells=250, seed=37)
+        place_design(nl, PlacementConfig(seed=2))
+        delays = apply_clock_tree(nl, ClockTreeConfig(levels=2))
+        # Center the delays so offsets are relative to the mean arrival.
+        mean = sum(delays.values()) / len(delays)
+        clock = ClockModel.for_netlist(nl, 1.0)
+        applied = 0
+        for flop, delay in delays.items():
+            offset = delay - mean
+            if abs(offset) <= clock.bound(flop):
+                clock.set_arrival(flop, offset)
+                applied += 1
+        assert applied > 0
+        assert clock.total_adjustment() > 0

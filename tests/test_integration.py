@@ -1,0 +1,139 @@
+"""End-to-end integration tests exercising the public API as a user would."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ClockModel,
+    EndpointSelectionEnv,
+    FlowConfig,
+    NUM_FEATURES,
+    PlacementConfig,
+    RLCCDPolicy,
+    TimingAnalyzer,
+    TrainConfig,
+    choose_clock_period,
+    place_design,
+    quick_design,
+    restore_netlist_state,
+    run_flow,
+    snapshot_netlist_state,
+    summarize,
+    train_rlccd,
+    violating_endpoints,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        netlist = quick_design(name="e2e", n_cells=350, seed=42)
+        place_design(netlist, PlacementConfig(seed=1))
+        analyzer = TimingAnalyzer(netlist)
+        nominal = netlist.library.default_clock_period
+        report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))
+        period = choose_clock_period(report, nominal, 0.35)
+        return netlist, period
+
+    def test_full_rl_pipeline(self, pipeline):
+        """Generate → place → constrain → train → compare vs default."""
+        netlist, period = pipeline
+        snapshot = snapshot_netlist_state(netlist)
+        flow_config = FlowConfig(clock_period=period)
+
+        default = run_flow(netlist, flow_config)
+        restore_netlist_state(netlist, snapshot)
+
+        env = EndpointSelectionEnv(netlist, period, rho=0.3)
+        policy = RLCCDPolicy(NUM_FEATURES, rng=0)
+        result = train_rlccd(
+            policy,
+            env,
+            flow_config,
+            TrainConfig(max_episodes=6, plateau_patience=6, seed=0),
+        )
+        # The trainer tracks the best of all episodes, so its best TNS can
+        # never be *worse* than a fixed fraction below the default flow on
+        # this simple design; crucially everything ran end to end.
+        assert result.episodes_run == 6
+        assert np.isfinite(result.best_tns)
+        assert result.best_tns >= default.final.tns - abs(default.final.tns)
+
+        restore_netlist_state(netlist, snapshot)
+        rl_flow = run_flow(
+            netlist, flow_config, prioritized_endpoints=result.best_selection
+        )
+        restore_netlist_state(netlist, snapshot)
+        assert rl_flow.final.tns == pytest.approx(result.best_tns, abs=1e-6)
+
+    def test_selection_determinism_same_seed(self, pipeline):
+        """Paper protocol: same seed ⇒ identical runs end to end."""
+        netlist, period = pipeline
+        snapshot = snapshot_netlist_state(netlist)
+
+        outcomes = []
+        for _ in range(2):
+            env = EndpointSelectionEnv(netlist, period, rho=0.3)
+            policy = RLCCDPolicy(NUM_FEATURES, rng=7)
+            result = train_rlccd(
+                policy,
+                env,
+                FlowConfig(clock_period=period),
+                TrainConfig(max_episodes=3, plateau_patience=9, seed=7),
+            )
+            outcomes.append((result.best_tns, tuple(result.best_selection)))
+            restore_netlist_state(netlist, snapshot)
+        assert outcomes[0] == outcomes[1]
+
+    def test_margin_protocol_invariant(self, pipeline):
+        """Margins applied then removed leave no trace on final reporting."""
+        netlist, period = pipeline
+        analyzer = TimingAnalyzer(netlist)
+        clock = ClockModel.for_netlist(netlist, period)
+        report = analyzer.analyze(clock)
+        viol = violating_endpoints(report)
+        from repro.ccd.margins import margins_to_wns
+
+        margins = margins_to_wns(report, viol[:5].tolist())
+        margined = analyzer.analyze(clock, margins)
+        back = analyzer.analyze(clock, {})
+        np.testing.assert_array_equal(report.slack, margined.slack)
+        np.testing.assert_array_equal(report.slack, back.slack)
+
+    def test_docstring_quickstart_runs(self):
+        """The quickstart in the package docstring must actually work."""
+        netlist = quick_design(n_cells=300, seed=7)
+        place_design(netlist)
+        analyzer = TimingAnalyzer(netlist)
+        nominal = netlist.library.default_clock_period
+        report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))
+        period = choose_clock_period(report, nominal, 0.3)
+        env = EndpointSelectionEnv(netlist, clock_period=period)
+        policy = RLCCDPolicy(NUM_FEATURES, rng=0)
+        result = train_rlccd(
+            policy,
+            env,
+            FlowConfig(clock_period=period),
+            TrainConfig(max_episodes=2, seed=0),
+        )
+        assert result.best_selection
+        assert np.isfinite(result.best_tns)
+
+    def test_summarize_roundtrip(self, pipeline):
+        netlist, period = pipeline
+        rep = TimingAnalyzer(netlist).analyze(ClockModel.for_netlist(netlist, period))
+        s = summarize(rep)
+        assert s.nve > 0
+        assert s.tns < 0

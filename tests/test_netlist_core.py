@@ -1,0 +1,237 @@
+"""Tests for the cell library, netlist data model and builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.core import Netlist
+from repro.netlist.library import LIBRARIES, CellSize, CellType, get_library
+
+
+class TestLibrary:
+    def test_three_nodes_available(self):
+        assert set(LIBRARIES) == {"tech5", "tech7", "tech12"}
+
+    def test_unknown_library_raises(self):
+        with pytest.raises(KeyError, match="tech3"):
+            get_library("tech3")
+
+    def test_unknown_cell_type_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_library("tech7").cell_type("NAND9")
+
+    def test_smaller_node_is_faster(self):
+        d5 = get_library("tech5").cell_type("NAND2").size(0).intrinsic_delay
+        d12 = get_library("tech12").cell_type("NAND2").size(0).intrinsic_delay
+        assert d5 < d12
+
+    def test_sizing_ladder_tradeoff(self):
+        """Upsizing must reduce drive resistance and raise cap/power."""
+        inv = get_library("tech7").cell_type("INV")
+        for lo, hi in zip(inv.sizes[:-1], inv.sizes[1:]):
+            assert hi.drive_resistance < lo.drive_resistance
+            assert hi.input_cap > lo.input_cap
+            assert hi.internal_power > lo.internal_power
+
+    def test_size_bounds_checked(self):
+        inv = get_library("tech7").cell_type("INV")
+        with pytest.raises(IndexError):
+            inv.size(99)
+
+    def test_delay_model_monotone_in_load(self):
+        size = get_library("tech7").cell_type("NAND2").size(0)
+        assert size.delay(10.0, 0.02) > size.delay(1.0, 0.02)
+
+    def test_delay_model_monotone_in_slew(self):
+        size = get_library("tech7").cell_type("NAND2").size(0)
+        assert size.delay(1.0, 0.2) > size.delay(1.0, 0.01)
+
+    def test_dff_has_sequential_params(self):
+        dff = get_library("tech7").cell_type("DFF")
+        assert dff.is_sequential
+        assert dff.clk_to_q > 0
+        assert dff.setup_time > 0
+
+    def test_combinational_names_excludes_ports_and_dff(self):
+        names = get_library("tech7").combinational_names
+        assert "DFF" not in names
+        assert "INPORT" not in names
+        assert "NAND2" in names
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CellType("X", 1, ())
+
+
+class TestNetlistModel:
+    def _mini(self):
+        lib = get_library("tech7")
+        nl = Netlist("mini", lib)
+        a = nl.add_cell("a", lib.cell_type("INPORT"))
+        g = nl.add_cell("g", lib.cell_type("INV"))
+        y = nl.add_cell("y", lib.cell_type("OUTPORT"))
+        nl.add_net("na", a.index, [(g.index, 0)])
+        nl.add_net("ng", g.index, [(y.index, 0)])
+        return nl, a, g, y
+
+    def test_duplicate_cell_name_raises(self):
+        lib = get_library("tech7")
+        nl = Netlist("x", lib)
+        nl.add_cell("c", lib.cell_type("INV"))
+        with pytest.raises(ValueError, match="duplicate"):
+            nl.add_cell("c", lib.cell_type("INV"))
+
+    def test_double_drive_raises(self):
+        nl, a, g, y = self._mini()
+        with pytest.raises(ValueError, match="already drives"):
+            nl.add_net("again", a.index)
+
+    def test_output_port_cannot_drive(self):
+        nl, a, g, y = self._mini()
+        with pytest.raises(ValueError, match="cannot drive"):
+            nl.add_net("bad", y.index)
+
+    def test_connect_bad_pin_raises(self):
+        nl, a, g, y = self._mini()
+        with pytest.raises(ValueError, match="no input pin"):
+            nl.connect(0, g.index, 5)
+
+    def test_connect_taken_pin_raises(self):
+        nl, a, g, y = self._mini()
+        with pytest.raises(ValueError, match="already connected"):
+            nl.connect(1, g.index, 0)
+
+    def test_queries(self):
+        nl, a, g, y = self._mini()
+        assert nl.fanin_cells(g.index) == [a.index]
+        assert nl.fanout_cells(a.index) == [g.index]
+        assert nl.fanout_cells(y.index) == []
+        assert nl.cell_by_name("g") is g
+        with pytest.raises(KeyError):
+            nl.cell_by_name("zzz")
+
+    def test_endpoint_startpoint_classification(self):
+        nl, a, g, y = self._mini()
+        assert a.is_startpoint and not a.is_endpoint
+        assert y.is_endpoint and not y.is_startpoint
+        assert not g.is_endpoint and not g.is_startpoint
+
+    def test_net_load_cap_counts_pins_and_wire(self):
+        nl, a, g, y = self._mini()
+        g.x, g.y = 100.0, 0.0
+        cap = nl.net_load_cap(0)
+        pin = g.size.input_cap
+        wire = nl.library.wire_cap_per_um * 100.0
+        assert cap == pytest.approx(pin + wire)
+
+    def test_hpwl(self):
+        nl, a, g, y = self._mini()
+        a.x, a.y = 0.0, 0.0
+        g.x, g.y = 30.0, 40.0
+        assert nl.net_hpwl(0) == pytest.approx(70.0)
+        assert nl.total_hpwl() >= 70.0
+
+    def test_resize_returns_previous(self):
+        nl, a, g, y = self._mini()
+        prev = nl.resize_cell(g.index, 2)
+        assert prev == 0
+        assert g.size_index == 2
+        with pytest.raises(IndexError):
+            nl.resize_cell(g.index, 99)
+
+    def test_sizing_headroom(self):
+        nl, a, g, y = self._mini()
+        max_idx = g.cell_type.max_size_index
+        assert g.sizing_headroom == max_idx
+        nl.resize_cell(g.index, max_idx)
+        assert g.sizing_headroom == 0
+
+
+class TestBufferInsertion:
+    def _fanout_net(self):
+        lib = get_library("tech7")
+        nl = Netlist("fan", lib)
+        drv = nl.add_cell("drv", lib.cell_type("INV"))
+        sinks = [nl.add_cell(f"s{i}", lib.cell_type("INV")) for i in range(4)]
+        src = nl.add_cell("src", lib.cell_type("INPORT"))
+        nl.add_net("nsrc", src.index, [(drv.index, 0)])
+        nl.add_net("nfan", drv.index, [(s.index, 0) for s in sinks])
+        return nl, drv, sinks
+
+    def test_split_moves_sinks(self):
+        nl, drv, sinks = self._fanout_net()
+        subset = [(sinks[2].index, 0), (sinks[3].index, 0)]
+        buf = nl.insert_buffer(1, subset)
+        original = nl.nets[1]
+        assert original.fanout == 3  # two sinks left + buffer input
+        assert (buf.index, 0) in original.sinks
+        new_net = nl.nets[buf.fanout_net]
+        assert set(new_net.sinks) == set(subset)
+        for cell_idx, pin in subset:
+            assert nl.cells[cell_idx].fanin_nets[pin] == new_net.index
+
+    def test_empty_subset_raises(self):
+        nl, drv, sinks = self._fanout_net()
+        with pytest.raises(ValueError):
+            nl.insert_buffer(1, [])
+
+    def test_foreign_sink_raises(self):
+        nl, drv, sinks = self._fanout_net()
+        with pytest.raises(ValueError, match="not on net"):
+            nl.insert_buffer(1, [(drv.index, 0)])
+
+    def test_buffer_location_defaults_to_centroid(self):
+        nl, drv, sinks = self._fanout_net()
+        sinks[0].x, sinks[0].y = 0.0, 0.0
+        sinks[1].x, sinks[1].y = 10.0, 20.0
+        buf = nl.insert_buffer(1, [(sinks[0].index, 0), (sinks[1].index, 0)])
+        assert buf.x == pytest.approx(5.0)
+        assert buf.y == pytest.approx(10.0)
+
+
+class TestBuilder:
+    def test_full_circuit(self, tiny_pipeline):
+        nl = tiny_pipeline
+        assert nl.num_cells == 8
+        assert len(nl.endpoints()) == 3  # ff1, ff2, y
+        assert len(nl.sequential_cells()) == 2
+
+    def test_gate_arity_checked(self):
+        b = NetlistBuilder("t", get_library("tech7"))
+        a = b.add_input("a")
+        with pytest.raises(ValueError, match="needs 2 inputs"):
+            b.add_gate("NAND2", "g", [a])
+
+    def test_add_gate_rejects_dff(self):
+        b = NetlistBuilder("t", get_library("tech7"))
+        a = b.add_input("a")
+        with pytest.raises(ValueError, match="add_flop"):
+            b.add_gate("DFF", "f", [a])
+
+    def test_flop_skew_bound_recorded(self):
+        b = NetlistBuilder("t", get_library("tech7"))
+        a = b.add_input("a")
+        f = b.add_flop("f", a, skew_bound=0.123)
+        assert b.netlist.skew_bounds[f.index] == pytest.approx(0.123)
+
+    def test_negative_skew_bound_raises(self):
+        b = NetlistBuilder("t", get_library("tech7"))
+        with pytest.raises(ValueError):
+            b.add_flop("f", skew_bound=-0.1)
+
+    def test_connect_data_feedback(self):
+        b = NetlistBuilder("t", get_library("tech7"))
+        f = b.add_flop("f")
+        g = b.add_gate("INV", "g", [f])
+        b.connect_data(f, g)
+        b.add_output("y", g)
+        nl = b.build()
+        assert nl.fanin_cells(f.index) == [g.index]
+
+    def test_build_validates(self):
+        b = NetlistBuilder("t", get_library("tech7"))
+        b.add_flop("dangling_input_flop")  # D pin unconnected
+        with pytest.raises(Exception):
+            b.build()

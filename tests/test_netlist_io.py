@@ -1,0 +1,114 @@
+"""Tests for netlist JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.netlist.generator import quick_design
+from repro.netlist.io import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+from repro.placement.global_place import PlacementConfig, place_design
+from repro.timing.clock import ClockModel
+from repro.timing.sta import TimingAnalyzer
+
+
+@pytest.fixture
+def placed():
+    nl = quick_design(name="io_test", n_cells=250, seed=61)
+    place_design(nl, PlacementConfig(seed=1))
+    return nl
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, placed):
+        data = netlist_to_dict(placed)
+        restored = netlist_from_dict(data)
+        assert restored.num_cells == placed.num_cells
+        assert restored.num_nets == placed.num_nets
+        assert restored.name == placed.name
+        assert restored.library.name == placed.library.name
+        for a, b in zip(placed.cells, restored.cells):
+            assert a.name == b.name
+            assert a.cell_type.name == b.cell_type.name
+            assert a.size_index == b.size_index
+            assert a.x == b.x and a.y == b.y
+            assert a.toggle_rate == b.toggle_rate
+            assert a.cluster == b.cluster
+
+    def test_skew_bounds_preserved(self, placed):
+        restored = netlist_from_dict(netlist_to_dict(placed))
+        assert restored.skew_bounds == placed.skew_bounds
+
+    def test_connectivity_preserved(self, placed):
+        restored = netlist_from_dict(netlist_to_dict(placed))
+        for a, b in zip(placed.nets, restored.nets):
+            assert a.driver == b.driver
+            assert a.sinks == b.sinks
+
+    def test_timing_identical_after_roundtrip(self, placed):
+        restored = netlist_from_dict(netlist_to_dict(placed))
+        period = placed.library.default_clock_period
+        rep_a = TimingAnalyzer(placed).analyze(ClockModel.for_netlist(placed, period))
+        rep_b = TimingAnalyzer(restored).analyze(
+            ClockModel.for_netlist(restored, period)
+        )
+        np.testing.assert_allclose(rep_a.slack, rep_b.slack)
+
+    def test_parasitic_scale_preserved(self, placed):
+        placed.parasitic_scale = 1.3
+        restored = netlist_from_dict(netlist_to_dict(placed))
+        assert restored.parasitic_scale == 1.3
+        placed.parasitic_scale = 1.0
+
+    def test_file_roundtrip(self, placed, tmp_path):
+        path = str(tmp_path / "designs" / "d.json")
+        save_netlist(placed, path)
+        restored = load_netlist(path)
+        assert restored.num_cells == placed.num_cells
+
+    def test_json_is_plain_data(self, placed):
+        text = json.dumps(netlist_to_dict(placed))
+        assert FORMAT_NAME in text
+
+
+class TestValidationOnLoad:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-netlist"):
+            netlist_from_dict({"format": "verilog", "version": 1})
+
+    def test_wrong_version_rejected(self, placed):
+        data = netlist_to_dict(placed)
+        data["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported"):
+            netlist_from_dict(data)
+
+    def test_unknown_library_rejected(self, placed):
+        data = netlist_to_dict(placed)
+        data["library"] = "tech3000"
+        with pytest.raises(KeyError):
+            netlist_from_dict(data)
+
+    def test_negative_skew_bound_rejected(self, placed):
+        data = netlist_to_dict(placed)
+        for entry in data["cells"]:
+            if "skew_bound" in entry:
+                entry["skew_bound"] = -0.5
+                break
+        with pytest.raises(ValueError, match="negative skew bound"):
+            netlist_from_dict(data)
+
+    def test_structurally_invalid_rejected(self, placed):
+        data = netlist_to_dict(placed)
+        # Drop all nets: every connected input pin disappears -> invalid.
+        data["nets"] = []
+        with pytest.raises(Exception):
+            netlist_from_dict(data)

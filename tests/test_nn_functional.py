@@ -1,0 +1,180 @@
+"""Tests for softmax variants, losses, entropy, and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import (
+    clip_gradient_norm,
+    entropy,
+    log_softmax,
+    masked_log_prob,
+    masked_softmax,
+    mse_loss,
+    softmax,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        p = softmax(Tensor(rng.normal(size=7)))
+        assert p.data.sum() == pytest.approx(1.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=5)
+        p1 = softmax(Tensor(x)).data
+        p2 = softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(p1, p2, atol=1e-12)
+
+    def test_large_logits_stable(self):
+        p = softmax(Tensor([1000.0, 999.0])).data
+        assert np.all(np.isfinite(p))
+        assert p[0] > p[1]
+
+    def test_2d_rowwise(self, rng):
+        p = softmax(Tensor(rng.normal(size=(4, 3))), axis=-1)
+        np.testing.assert_allclose(p.data.sum(axis=-1), np.ones(4))
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.normal(size=6)
+        np.testing.assert_allclose(
+            log_softmax(Tensor(x)).data, np.log(softmax(Tensor(x)).data), atol=1e-12
+        )
+
+    def test_gradient_is_jacobian(self):
+        x = Tensor(np.array([0.5, -0.2, 1.0]), requires_grad=True)
+        softmax(x)[0].backward()
+        p = softmax(Tensor(x.data)).data
+        expected = p[0] * (np.eye(3)[0] - p)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-10)
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_exactly_zero(self, rng):
+        valid = np.array([True, False, True, False])
+        p = masked_softmax(Tensor(rng.normal(size=4)), valid)
+        assert p.data[1] == 0.0
+        assert p.data[3] == 0.0
+        assert p.data.sum() == pytest.approx(1.0)
+
+    def test_single_valid_gets_prob_one(self):
+        valid = np.array([False, True, False])
+        p = masked_softmax(Tensor([5.0, -10.0, 5.0]), valid)
+        assert p.data[1] == pytest.approx(1.0)
+
+    def test_all_masked_raises(self):
+        with pytest.raises(ValueError):
+            masked_softmax(Tensor([1.0, 2.0]), np.array([False, False]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            masked_softmax(Tensor([1.0, 2.0]), np.array([True]))
+
+    def test_matches_neg_inf_construction(self, rng):
+        x = rng.normal(size=6)
+        valid = np.array([1, 1, 0, 1, 0, 1], bool)
+        ours = masked_softmax(Tensor(x), valid).data
+        ref_logits = np.where(valid, x, -np.inf)
+        ref = np.exp(ref_logits - ref_logits.max())
+        ref = ref / ref.sum()
+        np.testing.assert_allclose(ours, ref, atol=1e-12)
+
+    def test_gradient_flows_only_through_valid(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        valid = np.array([True, True, False])
+        masked_softmax(x, valid)[0].backward()
+        assert x.grad[2] == 0.0
+        assert x.grad[0] != 0.0
+
+
+class TestMaskedLogProb:
+    def test_matches_log_of_masked_softmax(self, rng):
+        x = rng.normal(size=5)
+        valid = np.array([1, 0, 1, 1, 1], bool)
+        lp = masked_log_prob(Tensor(x), valid, 3).item()
+        p = masked_softmax(Tensor(x), valid).data[3]
+        assert lp == pytest.approx(np.log(p))
+
+    def test_masked_action_raises(self):
+        with pytest.raises(ValueError):
+            masked_log_prob(Tensor([1.0, 2.0]), np.array([True, False]), 1)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            masked_log_prob(Tensor(np.zeros((2, 2))), np.ones((2, 2), bool), 0)
+
+    def test_gradient_numeric(self, rng):
+        x = rng.normal(size=4)
+        valid = np.array([1, 1, 0, 1], bool)
+        t = Tensor(x, requires_grad=True)
+        masked_log_prob(t, valid, 0).backward()
+        eps = 1e-6
+        num = np.zeros(4)
+        for i in range(4):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            num[i] = (
+                masked_log_prob(Tensor(xp), valid, 0).item()
+                - masked_log_prob(Tensor(xm), valid, 0).item()
+            ) / (2 * eps)
+        np.testing.assert_allclose(t.grad, num, atol=1e-6)
+
+
+class TestLossesAndUtilities:
+    def test_mse_zero_at_target(self):
+        assert mse_loss(Tensor([1.0, 2.0]), np.array([1.0, 2.0])).item() == 0.0
+
+    def test_mse_value(self):
+        assert mse_loss(Tensor([3.0]), np.array([1.0])).item() == pytest.approx(4.0)
+
+    def test_entropy_uniform_is_log_n(self):
+        p = Tensor(np.full(4, 0.25))
+        assert entropy(p).item() == pytest.approx(np.log(4))
+
+    def test_entropy_deterministic_is_zero(self):
+        p = Tensor([1.0, 0.0, 0.0])
+        assert entropy(p).item() == pytest.approx(0.0)
+
+    def test_clip_noop_below_threshold(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).backward()
+        norm = clip_gradient_norm([t], max_norm=100.0)
+        assert norm == pytest.approx(2.0)
+        assert t.grad[0] == pytest.approx(2.0)
+
+    def test_clip_scales_to_max(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        (t * 10.0).sum().backward()  # grad = 10 each, norm 20
+        clip_gradient_norm([t], max_norm=1.0)
+        assert np.linalg.norm(t.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_invalid_norm_raises(self):
+        with pytest.raises(ValueError):
+            clip_gradient_norm([], max_norm=0.0)
+
+    def test_clip_skips_gradless(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert clip_gradient_norm([t], max_norm=1.0) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 12),
+    seed=st.integers(0, 10_000),
+)
+def test_property_masked_softmax_distribution(n, seed):
+    """Masked softmax is a distribution over exactly the valid support."""
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(scale=3.0, size=n)
+    valid = rng.random(n) > 0.4
+    if not valid.any():
+        valid[rng.integers(n)] = True
+    p = masked_softmax(Tensor(logits), valid).data
+    assert p.sum() == pytest.approx(1.0)
+    assert np.all(p[~valid] == 0.0)
+    assert np.all(p[valid] > 0.0)

@@ -1,0 +1,373 @@
+"""Autograd engine tests: ops, broadcasting, and numeric gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, as_tensor, concat, stack, where
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        grad[idx] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(build, x: np.ndarray, tolerance: float = 1e-6) -> None:
+    """Assert autograd gradient of ``build(Tensor)`` matches numerics."""
+    t = Tensor(x, requires_grad=True)
+    out = build(t)
+    out.backward()
+    expected = numeric_grad(lambda arr: build(Tensor(arr)).item(), x)
+    np.testing.assert_allclose(t.grad, expected, atol=tolerance, rtol=1e-4)
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.data.dtype == np.float64
+
+    def test_construction_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.shares_memory(a.data, b.data)
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_on_vector_raises(self):
+        with pytest.raises(Exception):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_cuts_tape(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+
+    def test_backward_without_grad_flag_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_without_grad_raises(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_zero_grad(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * t).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestArithmetic:
+    def test_add_forward(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_array_equal(out.data, [4.0, 6.0])
+
+    def test_add_gradients_both_sides(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [1.0, 1.0])
+
+    def test_add_broadcast_scalar(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        (a + 5.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 3)))
+
+    def test_add_broadcast_row_gradient(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_array_equal(b.grad, [4.0, 4.0, 4.0])
+
+    def test_radd(self):
+        out = 2.0 + Tensor([1.0])
+        assert out.data[0] == 3.0
+
+    def test_sub_and_rsub(self):
+        a = Tensor([5.0])
+        assert (a - 2.0).data[0] == 3.0
+        assert (10.0 - a).data[0] == 5.0
+
+    def test_neg_gradient(self):
+        a = Tensor([2.0], requires_grad=True)
+        (-a).sum().backward()
+        assert a.grad[0] == -1.0
+
+    def test_mul_gradient(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [4.0, 5.0])
+        np.testing.assert_array_equal(b.grad, [2.0, 3.0])
+
+    def test_div_gradient_numeric(self, rng):
+        x = rng.uniform(0.5, 2.0, size=(3, 2))
+        check_gradient(lambda t: (t / Tensor([2.0, 4.0])).sum(), x)
+
+    def test_rtruediv(self):
+        a = Tensor([2.0], requires_grad=True)
+        (4.0 / a).backward()
+        assert a.grad[0] == pytest.approx(-1.0)
+
+    def test_pow_gradient(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).backward()
+        assert a.grad[0] == pytest.approx(6.0)
+
+    def test_pow_non_scalar_exponent_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_reuse_accumulates_gradient(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a + a).backward()  # d/da (a² + a) = 2a + 1 = 5
+        assert a.grad[0] == pytest.approx(5.0)
+
+
+class TestMatmul:
+    def test_2d_2d_forward(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_2d_2d_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = Tensor(rng.normal(size=(4, 2)))
+        check_gradient(lambda t: (t @ w).sum(), x)
+
+    def test_2d_2d_gradient_rhs(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        x = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (a @ t).sum(), x)
+
+    def test_1d_2d_gradient(self, rng):
+        w = Tensor(rng.normal(size=(4, 3)))
+        check_gradient(lambda t: (t @ w).sum(), rng.normal(size=4))
+
+    def test_2d_1d_gradient(self, rng):
+        v = Tensor(rng.normal(size=3))
+        check_gradient(lambda t: (t @ v).sum(), rng.normal(size=(2, 3)))
+
+    def test_1d_1d_gradient(self, rng):
+        v = Tensor(rng.normal(size=5))
+        check_gradient(lambda t: t @ v, rng.normal(size=5))
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2, 2))) @ Tensor(np.zeros((2, 2)))
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu"])
+    def test_gradient_matches_numeric(self, op, rng):
+        x = rng.normal(size=(4, 3))
+        check_gradient(lambda t: getattr(t, op)().sum(), x)
+
+    def test_log_gradient(self, rng):
+        x = rng.uniform(0.2, 3.0, size=(3, 3))
+        check_gradient(lambda t: t.log().sum(), x)
+
+    def test_sigmoid_saturation_is_finite(self):
+        out = Tensor([1000.0, -1000.0]).sigmoid()
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] == pytest.approx(1.0)
+        assert out.data[1] == pytest.approx(0.0)
+
+    def test_relu_zeroes_negative(self):
+        out = Tensor([-1.0, 2.0]).relu()
+        np.testing.assert_array_equal(out.data, [0.0, 2.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor([[1.0, 2.0], [3.0, 4.0]]).sum().item() == 10.0
+
+    def test_sum_axis_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), x)
+
+    def test_sum_keepdims_shape(self):
+        out = Tensor(np.ones((2, 3))).sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_mean_gradient(self, rng):
+        x = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (t.mean() ** 2), x)
+
+    def test_mean_axis_value(self):
+        out = Tensor([[1.0, 3.0], [5.0, 7.0]]).mean(axis=0)
+        np.testing.assert_array_equal(out.data, [3.0, 5.0])
+
+    def test_max_all_gradient(self):
+        a = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self):
+        out = Tensor([[1.0, 9.0], [7.0, 2.0]]).max(axis=1)
+        np.testing.assert_array_equal(out.data, [9.0, 7.0])
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self, rng):
+        x = rng.normal(size=(2, 6))
+        check_gradient(lambda t: (t.reshape(3, 4) ** 2).sum(), x)
+
+    def test_transpose_roundtrip(self, rng):
+        x = rng.normal(size=(2, 5))
+        t = Tensor(x)
+        np.testing.assert_array_equal(t.T.T.data, x)
+
+    def test_transpose_gradient(self, rng):
+        x = rng.normal(size=(3, 2))
+        v = Tensor(rng.normal(size=(3,)))
+        check_gradient(lambda t: (t.T @ v).sum(), x)
+
+    def test_getitem_row_gradient(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        a[0].sum().backward()
+        np.testing.assert_array_equal(a.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_getitem_slice(self):
+        a = Tensor(np.arange(5.0), requires_grad=True)
+        a[slice(1, 4)].sum().backward()
+        np.testing.assert_array_equal(a.grad, [0, 1, 1, 1, 0])
+
+    def test_gather_rows_repeats_accumulate(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        a.gather_rows(np.array([0, 0, 2])).sum().backward()
+        np.testing.assert_array_equal(a.grad, [[2, 2], [0, 0], [1, 1]])
+
+
+class TestCombinators:
+    def test_concat_forward(self):
+        out = concat([Tensor([1.0]), Tensor([2.0, 3.0])])
+        np.testing.assert_array_equal(out.data, [1.0, 2.0, 3.0])
+
+    def test_concat_gradient_split(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (concat([a, b]) * Tensor([1.0, 2.0, 3.0])).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 2.0])
+        np.testing.assert_array_equal(b.grad, [3.0])
+
+    def test_concat_axis1(self, rng):
+        a, b = rng.normal(size=(2, 2)), rng.normal(size=(2, 3))
+        out = concat([Tensor(a), Tensor(b)], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+    def test_stack_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (stack([a, b]) * Tensor([[1.0, 1.0], [2.0, 2.0]])).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [2.0, 2.0])
+
+    def test_stack_empty_raises(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+    def test_where_selects(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([9.0, 9.0]))
+        np.testing.assert_array_equal(out.data, [1.0, 9.0])
+
+    def test_where_gradient_routing(self):
+        cond = np.array([True, False, True])
+        a = Tensor([1.0, 1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0, 2.0], requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestComposite:
+    def test_mlp_like_chain(self, rng):
+        x = rng.normal(size=(5, 4))
+        w1 = Tensor(rng.normal(size=(4, 6)))
+        w2 = Tensor(rng.normal(size=(6, 1)))
+        check_gradient(lambda t: ((t @ w1).tanh() @ w2).sigmoid().sum(), x)
+
+    def test_weight_gradient_through_chain(self, rng):
+        x = Tensor(rng.normal(size=(5, 4)))
+        w = rng.normal(size=(4, 3))
+
+        def build(t):
+            return ((x @ t).sigmoid() ** 2).mean()
+
+        check_gradient(build, w)
+
+    def test_diamond_graph(self):
+        # y = a*b + a*c where b, c derive from a: gradient accumulates.
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        c = a * 4.0
+        (b * c).backward()  # y = 12 a², dy/da = 24a = 48
+        assert a.grad[0] == pytest.approx(48.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_property_random_composite_gradients(rows, cols, seed):
+    """Gradient of a random composite matches central differences."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(rows, cols))
+    w = Tensor(rng.normal(size=(cols, 2)))
+
+    def build(t):
+        return ((t @ w).tanh() * 0.5 + 0.1).sigmoid().sum()
+
+    check_gradient(build, x, tolerance=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+    seed=st.integers(0, 10_000),
+)
+def test_property_unbroadcast_row_and_col(shape, seed):
+    """Broadcast add reduces gradients back to each operand's shape."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=shape), requires_grad=True)
+    row = Tensor(rng.normal(size=(1, shape[1])), requires_grad=True)
+    col = Tensor(rng.normal(size=(shape[0], 1)), requires_grad=True)
+    (a + row + col).sum().backward()
+    assert a.grad.shape == shape
+    assert row.grad.shape == (1, shape[1])
+    assert col.grad.shape == (shape[0], 1)
+    np.testing.assert_allclose(row.grad, np.full((1, shape[1]), shape[0]))
+    np.testing.assert_allclose(col.grad, np.full((shape[0], 1), shape[1]))

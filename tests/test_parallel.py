@@ -1,0 +1,75 @@
+"""Tests for the parallel flow-reward evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.env import EndpointSelectionEnv
+from repro.agent.baselines import select_random, select_worst_slack
+from repro.agent.parallel import FlowReward, evaluate_selections, fork_available
+from repro.ccd.flow import FlowConfig, snapshot_netlist_state
+
+
+@pytest.fixture
+def context(small_design):
+    nl, period = small_design
+    env = EndpointSelectionEnv(nl, period)
+    return nl, period, env
+
+
+class TestEvaluateSelections:
+    def test_invalid_workers_raise(self, context):
+        nl, period, env = context
+        with pytest.raises(ValueError):
+            evaluate_selections(nl, FlowConfig(clock_period=period), [[]], workers=0)
+
+    def test_sequential_returns_one_reward_per_selection(self, context):
+        nl, period, env = context
+        selections = [select_worst_slack(env, k) for k in (0, 2, 5)]
+        rewards = evaluate_selections(
+            nl, FlowConfig(clock_period=period), selections, workers=1
+        )
+        assert len(rewards) == 3
+        for reward, selection in zip(rewards, selections):
+            assert isinstance(reward, FlowReward)
+            assert reward.num_selected == len(selection)
+            assert reward.tns <= 0.0
+
+    def test_netlist_left_at_snapshot(self, context):
+        nl, period, env = context
+        before = snapshot_netlist_state(nl)
+        evaluate_selections(
+            nl, FlowConfig(clock_period=period), [select_worst_slack(env, 3)]
+        )
+        after = snapshot_netlist_state(nl)
+        assert before == after
+
+    def test_empty_selection_matches_default_flow(self, context):
+        from repro.ccd.flow import restore_netlist_state, run_flow
+
+        nl, period, env = context
+        snapshot = snapshot_netlist_state(nl)
+        (reward,) = evaluate_selections(nl, FlowConfig(clock_period=period), [[]])
+        direct = run_flow(nl, FlowConfig(clock_period=period))
+        restore_netlist_state(nl, snapshot)
+        assert reward.tns == pytest.approx(direct.final.tns)
+        assert reward.nve == direct.final.nve
+
+    def test_deterministic_across_calls(self, context):
+        nl, period, env = context
+        sel = [select_random(env, 4, rng=1)]
+        a = evaluate_selections(nl, FlowConfig(clock_period=period), sel)
+        b = evaluate_selections(nl, FlowConfig(clock_period=period), sel)
+        assert a == b
+
+    @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+    def test_parallel_matches_sequential(self, context):
+        nl, period, env = context
+        selections = [select_random(env, 3, rng=i) for i in range(3)]
+        seq = evaluate_selections(
+            nl, FlowConfig(clock_period=period), selections, workers=1
+        )
+        par = evaluate_selections(
+            nl, FlowConfig(clock_period=period), selections, workers=3
+        )
+        assert seq == par

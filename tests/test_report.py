@@ -1,0 +1,109 @@
+"""Unit tests for the text-report formatters (synthetic inputs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.ablations import AblationPoint, PpaPoint
+from repro.benchsuite.figures import Fig5Result, Fig6Result
+from repro.benchsuite.report import (
+    format_ablation,
+    format_fig5,
+    format_fig6,
+    format_ppa,
+)
+
+
+class TestFormatFig5:
+    def _result(self):
+        return Fig5Result(
+            design="blockX",
+            bin_edges=np.linspace(-0.1, 0.1, 5),
+            default_counts=np.array([1, 0, 3, 2]),
+            rlccd_counts=np.array([2, 1, 0, 4]),
+            num_prioritized=7,
+            default_total_skew=0.5,
+            rlccd_total_skew=0.9,
+        )
+
+    def test_contains_header_and_totals(self):
+        text = format_fig5(self._result())
+        assert "blockX" in text
+        assert "prioritized 7 endpoints" in text
+        assert "0.500" in text and "0.900" in text
+
+    def test_one_row_per_bin(self):
+        text = format_fig5(self._result())
+        rows = [l for l in text.splitlines() if l.strip().startswith("[")]
+        assert len(rows) == 4
+
+    def test_bars_scale_to_peak(self):
+        text = format_fig5(self._result())
+        # Peak count is 4 -> the longest star bar has 20 chars.
+        star_rows = [l for l in text.splitlines() if "*" in l]
+        assert any(l.count("*") == 20 for l in star_rows)
+
+
+class TestFormatFig6:
+    def test_curves_and_convergence_lines(self):
+        result = Fig6Result(
+            design="blockY",
+            scratch_curve=np.array([-5.0, -4.0, -4.0]),
+            transfer_curve=np.array([-4.5, -4.0]),
+            scratch_episodes_to_best=2,
+            transfer_episodes_to_best=2,
+            pretrain_designs=["a", "b"],
+        )
+        text = format_fig6(result)
+        assert "blockY" in text
+        assert "a, b" in text
+        assert "episodes to best: scratch 2, transfer 2" in text
+        assert "scratch-final quality" in text
+
+    def test_unequal_curve_lengths_padded(self):
+        result = Fig6Result(
+            design="z",
+            scratch_curve=np.array([-1.0]),
+            transfer_curve=np.array([-1.0, -0.5, -0.25]),
+            scratch_episodes_to_best=1,
+            transfer_episodes_to_best=3,
+            pretrain_designs=["s"],
+        )
+        text = format_fig6(result)
+        assert "nan" in text  # the padded scratch rows
+
+    def test_episodes_to_reach(self):
+        result = Fig6Result(
+            design="z",
+            scratch_curve=np.array([-3.0, -2.0, -2.0]),
+            transfer_curve=np.array([-2.5, -2.0, -1.5]),
+            scratch_episodes_to_best=2,
+            transfer_episodes_to_best=3,
+            pretrain_designs=["s"],
+        )
+        s, t = result.episodes_to_reach(-2.0)
+        assert (s, t) == (2, 2)
+        s, t = result.episodes_to_reach(-1.5)
+        assert (s, t) == (0, 3)  # scratch never reaches -1.5
+
+
+class TestFormatAblations:
+    def test_format_ablation_rows(self):
+        points = [
+            AblationPoint("config-a", tns=-1.0, wns=-0.2, nve=5, num_selected=3),
+            AblationPoint("config-b", tns=-0.5, wns=-0.1, nve=2, num_selected=9),
+        ]
+        text = format_ablation("my title", points)
+        assert text.startswith("my title")
+        assert "config-a" in text and "config-b" in text
+        assert "-1.000" in text
+
+    def test_format_ppa_rows(self):
+        points = [
+            PpaPoint("fixed", -1.0, -0.2, 5, 3, power=12.5, area=800.0),
+        ]
+        text = format_ppa("ppa title", points)
+        assert "ppa title" in text
+        assert "12.500" in text
+        assert "800.0" in text

@@ -1,0 +1,87 @@
+"""Tests for RNG helpers and validation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, as_rng, spawn_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestRng:
+    def test_as_rng_from_int_deterministic(self):
+        assert as_rng(42).integers(1000) == as_rng(42).integers(1000)
+
+    def test_as_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_none_works(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_streams_differ(self):
+        parent = as_rng(7)
+        a = spawn_rng(parent, 0)
+        parent2 = as_rng(7)
+        b = spawn_rng(parent2, 1)
+        assert a.integers(10**9) != b.integers(10**9)
+
+    def test_spawn_same_stream_reproducible(self):
+        a = spawn_rng(as_rng(7), 3)
+        b = spawn_rng(as_rng(7), 3)
+        assert a.integers(10**9) == b.integers(10**9)
+
+    def test_spawn_negative_stream_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(as_rng(0), -1)
+
+    def test_mixin_lazy_and_reseed(self):
+        class Thing(RngMixin):
+            def __init__(self, seed):
+                self._seed = seed
+
+        t = Thing(5)
+        first = t.rng.integers(1000)
+        t.reseed(5)
+        assert t.rng.integers(1000) == first
+
+
+class TestValidation:
+    def test_check_type_pass(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_check_type_fail_message(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "no", int)
+
+    def test_check_type_tuple(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0
+
+    def test_check_positive(self):
+        assert check_positive("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_positive("p", 0.0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("n", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative("n", -1e-9)
+
+    def test_check_probability(self):
+        assert check_probability("q", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("q", 1.01)
+        with pytest.raises(ValueError):
+            check_probability("q", -0.01)
+
+    def test_check_in_range(self):
+        assert check_in_range("r", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("r", 11, 0, 10)

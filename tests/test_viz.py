@@ -1,0 +1,110 @@
+"""Tests for the ASCII visualization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii_plots import (
+    histogram,
+    line_plot,
+    scatter,
+    slack_profile,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_uniform(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(set(s)) == 1
+
+    def test_monotone_series_monotone_chars(self):
+        s = sparkline(list(range(8)))
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_non_finite_marked(self):
+        s = sparkline([1.0, float("nan"), 3.0])
+        assert s[1] == "·"
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3 ) == "···"
+
+
+class TestHistogram:
+    def test_counts_sum_preserved(self):
+        out = histogram(np.random.default_rng(0).normal(size=100), bins=5)
+        total = sum(
+            int(line.split(")")[1].split()[0]) for line in out.splitlines()
+        )
+        assert total == 100
+
+    def test_empty(self):
+        assert "(no data)" in histogram([])
+
+    def test_label_included(self):
+        assert histogram([1, 2, 3], label="title").startswith("title")
+
+
+class TestLinePlot:
+    def test_contains_series_markers_and_legend(self):
+        out = line_plot({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "*" in out and "+" in out
+        assert "a" in out and "b" in out
+
+    def test_empty(self):
+        assert "(no data)" in line_plot({})
+
+    def test_constant_series(self):
+        out = line_plot({"flat": [2.0, 2.0]})
+        assert "flat" in out
+
+    def test_bounds_in_labels(self):
+        out = line_plot({"a": [0.0, 10.0]})
+        assert "10.000" in out and "0.000" in out
+
+
+class TestScatter:
+    def test_basic_render(self):
+        out = scatter([(0, 0), (1, 1)], width=10, height=5)
+        assert "•" in out
+
+    def test_highlight_layer(self):
+        out = scatter([(0, 0), (1, 1)], highlight=[(1, 1)], width=10, height=5)
+        assert "X" in out
+
+    def test_empty(self):
+        assert "(no data)" in scatter([])
+
+    def test_placement_map_runs(self, small_design):
+        nl, _ = small_design
+        pts = [(c.x, c.y) for c in nl.cells]
+        flops = [(c.x, c.y) for c in nl.cells if c.is_sequential]
+        out = scatter(pts, highlight=flops, title="placement")
+        assert out.startswith("placement")
+
+
+class TestSlackProfile:
+    def test_reports_wns_and_tns(self):
+        out = slack_profile([-0.5, -0.1, 0.2, 0.4])
+        assert "2/4 violating" in out
+        assert "WNS -0.500" in out
+        assert "TNS -0.600" in out
+
+    def test_empty(self):
+        assert "(no endpoints)" in slack_profile([])
+
+    def test_on_real_design(self, small_design):
+        from repro.timing.clock import ClockModel
+        from repro.timing.sta import TimingAnalyzer
+
+        nl, period = small_design
+        rep = TimingAnalyzer(nl).analyze(ClockModel.for_netlist(nl, period))
+        out = slack_profile(rep.slack)
+        assert "violating" in out
