@@ -10,7 +10,6 @@ A3 — selection baselines: RL-CCD against none / worst-slack / random /
 
 from __future__ import annotations
 
-import pytest
 
 from repro.benchsuite.ablations import (
     overfix_vs_underfix,

@@ -10,7 +10,6 @@ A5 — full-flow optimization: per-stage re-prioritization across a
 
 from __future__ import annotations
 
-import pytest
 
 from repro.benchsuite.ablations import full_flow_comparison, masking_strategies
 from repro.benchsuite.report import format_ppa
@@ -23,9 +22,9 @@ def test_masking_strategy_ppa(benchmark, table2_config):
     print()
     print(format_ppa("A4 — masking strategies, PPA impact (block5)", points))
     labels = [p.label for p in points]
-    assert any("fixed" in l for l in labels)
-    assert any("size-adaptive" in l for l in labels)
-    assert any("decaying" in l for l in labels)
+    assert any("fixed" in lab for lab in labels)
+    assert any("size-adaptive" in lab for lab in labels)
+    assert any("decaying" in lab for lab in labels)
     # The strategies must actually select differently (else the ablation
     # says nothing) and keep power within a sane envelope of each other.
     sizes = {p.num_selected for p in points}

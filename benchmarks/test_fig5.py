@@ -10,7 +10,6 @@ capture flops.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.benchsuite.figures import fig5_arrival_histogram
 from repro.benchsuite.report import format_fig5

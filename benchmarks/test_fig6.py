@@ -7,7 +7,6 @@ comparable TNS in far fewer training iterations than from-scratch training.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.benchsuite.figures import fig6_transfer
 from repro.benchsuite.report import format_fig6

@@ -20,6 +20,7 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.ccd.flow import (
     FlowConfig,
     NetlistState,
@@ -55,6 +56,16 @@ def _evaluate_one(args) -> FlowReward:
     )
 
 
+def _evaluate_one_forked(args):
+    """Pool worker body: same as :func:`_evaluate_one`, but from a fresh
+    child recorder whose state is shipped back for the parent to merge —
+    spans/counters from the 8-process farm land in the same aggregate a
+    sequential run produces."""
+    obs.child_reset()
+    reward = _evaluate_one(args)
+    return reward, obs.export_state()
+
+
 def fork_available() -> bool:
     """Whether the efficient ``fork`` start method exists on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
@@ -86,8 +97,15 @@ def evaluate_selections(
         return rewards
 
     ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(processes=min(workers, len(tasks))) as pool:
-        rewards = pool.map(_evaluate_one, tasks)
+    obs.incr("parallel.batches")
+    obs.incr("parallel.tasks", len(tasks))
+    with obs.span("agent.parallel.dispatch"):
+        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+            results = pool.map(_evaluate_one_forked, tasks)
+    rewards = [reward for reward, _ in results]
+    with obs.span("agent.parallel.merge"):
+        for _, child_state in results:
+            obs.merge_state(child_state)
     # Children mutated their own copies; the parent netlist saw the pickled
     # snapshot only — restore anyway for belt-and-braces determinism.
     restore_netlist_state(netlist, snapshot)

@@ -28,11 +28,12 @@ Practicalities the paper leaves implicit, implemented the standard way:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.agent.env import EndpointSelectionEnv
 from repro.agent.parallel import evaluate_selections
 from repro.agent.policy import RLCCDPolicy, Trajectory
@@ -45,7 +46,7 @@ from repro.ccd.flow import (
 )
 from repro.nn.functional import clip_gradient_norm
 from repro.nn.optim import Adam
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive
 
 
@@ -159,8 +160,11 @@ def train_rlccd(
     """
     rng = as_rng(config.seed)
     optimizer = Adam(policy.parameters(), lr=config.learning_rate)
-    snapshot = snapshot_netlist_state(env.netlist)
+    snapshot = snapshot_netlist_state(
+        env.netlist, verify_clock_period=flow_config.clock_period
+    )
     norm = _RunningNorm()
+    log = obs.get_logger("agent.reinforce")
 
     history: List[EpisodeRecord] = []
     best_tns = -np.inf
@@ -198,6 +202,28 @@ def train_rlccd(
         history.append(record)
         if progress is not None:
             progress(record)
+        log.debug(
+            "episode %d: tns=%.4f wns=%.4f selected=%d advantage=%.3f",
+            episode,
+            record.tns,
+            record.wns,
+            record.num_selected,
+            record.advantage,
+        )
+        if obs.tracing():
+            obs.emit(
+                "episode",
+                {
+                    "episode": episode,
+                    "seed": config.seed,
+                    "reward": reward,
+                    "tns": record.tns,
+                    "wns": record.wns,
+                    "nve": record.nve,
+                    "num_selected": record.num_selected,
+                    "advantage": record.advantage,
+                },
+            )
         episode += 1
         if reward > best_tns + config.plateau_tolerance:
             best_tns = reward
@@ -213,22 +239,24 @@ def train_rlccd(
         if config.workers > 1:
             # Parallel reward evaluation (paper's farm training, §IV-A):
             # all batch trajectories' tapes are held while workers run.
-            trajectories = [
-                policy.rollout(
-                    env,
-                    rng=rng,
-                    max_steps=max_steps,
-                    with_entropy=config.entropy_coefficient > 0,
+            with obs.span("agent.rollout"):
+                trajectories = [
+                    policy.rollout(
+                        env,
+                        rng=rng,
+                        max_steps=max_steps,
+                        with_entropy=config.entropy_coefficient > 0,
+                    )
+                    for _ in range(batch_size)
+                ]
+            with obs.span("agent.flow_eval"):
+                rewards = evaluate_selections(
+                    env.netlist,
+                    flow_config,
+                    [t.action_cells for t in trajectories],
+                    workers=config.workers,
+                    snapshot=snapshot,
                 )
-                for _ in range(batch_size)
-            ]
-            rewards = evaluate_selections(
-                env.netlist,
-                flow_config,
-                [t.action_cells for t in trajectories],
-                workers=config.workers,
-                snapshot=snapshot,
-            )
             for trajectory, flow_reward in zip(trajectories, rewards):
                 improved = process(trajectory, flow_reward, batch_size)
                 batch_improved = batch_improved or improved
@@ -237,25 +265,28 @@ def train_rlccd(
             # Sequential: interleave rollout → evaluate → backward so only
             # one trajectory's autograd tape is alive at a time.
             for _ in range(batch_size):
-                trajectory = policy.rollout(
-                    env,
-                    rng=rng,
-                    max_steps=max_steps,
-                    with_entropy=config.entropy_coefficient > 0,
-                )
-                (flow_reward,) = evaluate_selections(
-                    env.netlist,
-                    flow_config,
-                    [trajectory.action_cells],
-                    workers=1,
-                    snapshot=snapshot,
-                )
+                with obs.span("agent.rollout"):
+                    trajectory = policy.rollout(
+                        env,
+                        rng=rng,
+                        max_steps=max_steps,
+                        with_entropy=config.entropy_coefficient > 0,
+                    )
+                with obs.span("agent.flow_eval"):
+                    (flow_reward,) = evaluate_selections(
+                        env.netlist,
+                        flow_config,
+                        [trajectory.action_cells],
+                        workers=1,
+                        snapshot=snapshot,
+                    )
                 improved = process(trajectory, flow_reward, batch_size)
                 batch_improved = batch_improved or improved
                 del trajectory
 
-        clip_gradient_norm(policy.parameters(), config.gradient_clip)
-        optimizer.step()
+        with obs.span("agent.update"):
+            clip_gradient_norm(policy.parameters(), config.gradient_clip)
+            optimizer.step()
 
         if batch_improved:
             plateau = 0

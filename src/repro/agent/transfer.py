@@ -11,9 +11,8 @@ training from scratch.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-import numpy as np
 
 from repro.agent.env import EndpointSelectionEnv
 from repro.agent.policy import RLCCDPolicy

@@ -24,18 +24,18 @@ from repro.benchsuite.figures import (
     fig5_arrival_histogram,
     fig6_transfer,
 )
+from repro.benchsuite.persistence import (
+    compare_runs,
+    load_rows,
+    row_to_dict,
+    save_rows,
+)
 from repro.benchsuite.report import (
     format_ablation,
     format_fig5,
     format_fig6,
     format_ppa,
     format_table2,
-)
-from repro.benchsuite.persistence import (
-    compare_runs,
-    load_rows,
-    row_to_dict,
-    save_rows,
 )
 from repro.benchsuite.stats import (
     SweepResult,

@@ -19,9 +19,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.agent.baselines import (
     select_greedy_overlap,

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.agent.env import EndpointSelectionEnv
 from repro.agent.policy import RLCCDPolicy
-from repro.agent.reinforce import TrainConfig, TrainingResult, train_rlccd
+from repro.agent.reinforce import TrainingResult, train_rlccd
 from repro.agent.transfer import pretrain_on_designs, transfer_epgnn
 from repro.benchsuite.designs import BLOCKS, DesignSpec, build_design, get_block
 from repro.benchsuite.table2 import Table2Config

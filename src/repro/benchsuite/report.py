@@ -6,7 +6,7 @@ be compared side by side with the paper's tables and figures.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -112,6 +112,52 @@ def format_ablation(title: str, points: Iterable[AblationPoint]) -> str:
             f"{p.label:>28} | {p.tns:>9.3f} {p.wns:>8.3f} {p.nve:>5} "
             f"{p.num_selected:>5}"
         )
+    return "\n".join(lines)
+
+
+def format_phase_table(
+    phases: Mapping[str, Mapping[str, float]], title: str = "phase timings"
+) -> str:
+    """Render an aggregated :mod:`repro.obs` phase table, busiest first.
+
+    ``phases`` is the ``BENCH_*.json`` ``phases`` mapping (or the output of
+    :func:`repro.obs.bench.aggregate_phases`): per phase name a dict with
+    ``count`` / ``total_s`` / ``median_s`` / ``p90_s`` / ``max_s``.
+    """
+    lines = [
+        title,
+        f"{'phase':>28} | {'count':>7} {'total':>9} {'median':>9} "
+        f"{'p90':>9} {'max':>9}",
+    ]
+    ordered = sorted(phases.items(), key=lambda kv: -float(kv[1]["total_s"]))
+    for name, stats in ordered:
+        lines.append(
+            f"{name:>28} | {int(stats['count']):>7} "
+            f"{float(stats['total_s']):>8.3f}s "
+            f"{1e3 * float(stats['median_s']):>7.2f}ms "
+            f"{1e3 * float(stats['p90_s']):>7.2f}ms "
+            f"{1e3 * float(stats['max_s']):>7.2f}ms"
+        )
+    if not phases:
+        lines.append("(no phases recorded — is the obs recorder enabled?)")
+    return "\n".join(lines)
+
+
+def format_bench(payload: Mapping) -> str:
+    """Render a full BENCH payload: headline metrics plus the phase table."""
+    metrics = payload.get("metrics", {})
+    design = payload.get("design", {})
+    lines = [
+        f"bench {payload.get('git_sha', '?')} — design "
+        f"{design.get('name', '?')} ({design.get('cells', '?')} cells, "
+        f"{design.get('endpoints', '?')} endpoints), seed "
+        f"{payload.get('seed', '?')}, total {payload.get('total_seconds', 0.0):.2f}s",
+        f"  default flow TNS {metrics.get('default_tns', float('nan')):.3f} "
+        f"(begin {metrics.get('begin_tns', float('nan')):.3f}), "
+        f"RL best TNS {metrics.get('rlccd_best_tns', float('nan')):.3f} "
+        f"over {metrics.get('episodes_run', '?')} episodes",
+    ]
+    lines.append(format_phase_table(payload.get("phases", {})))
     return "\n".join(lines)
 
 

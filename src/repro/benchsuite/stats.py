@@ -13,7 +13,7 @@ confidence interval of the TNS improvement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 from scipy import stats as scipy_stats

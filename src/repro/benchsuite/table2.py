@@ -126,7 +126,9 @@ def run_table2_row(
     flow_config = config.flow_config(design.clock_period)
 
     env = EndpointSelectionEnv(netlist, design.clock_period, rho=config.rho)
-    snapshot = snapshot_netlist_state(netlist)
+    snapshot = snapshot_netlist_state(
+        netlist, verify_clock_period=design.clock_period
+    )
 
     # Default tool flow.
     t0 = time.perf_counter()

@@ -8,12 +8,6 @@ margins (:mod:`~repro.ccd.margins`), the useful-skew engine
 """
 
 from repro.ccd.datapath_opt import DatapathConfig, DatapathResult, optimize_datapath
-from repro.ccd.fullflow import (
-    FullFlowResult,
-    FullFlowStage,
-    default_stages,
-    run_full_flow,
-)
 from repro.ccd.flow import (
     FlowConfig,
     FlowResult,
@@ -21,6 +15,12 @@ from repro.ccd.flow import (
     restore_netlist_state,
     run_flow,
     snapshot_netlist_state,
+)
+from repro.ccd.fullflow import (
+    FullFlowResult,
+    FullFlowStage,
+    default_stages,
+    run_full_flow,
 )
 from repro.ccd.margins import margins_by_amount, margins_to_wns, remove_margins
 from repro.ccd.useful_skew import (

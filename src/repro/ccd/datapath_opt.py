@@ -23,10 +23,11 @@ probe cost, mimicking the trial-based inner loops of production optimizers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Tuple
+from typing import Mapping, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.netlist.core import Netlist
 from repro.timing.clock import ClockModel
 from repro.timing.metrics import tns
@@ -82,7 +83,20 @@ def optimize_datapath(
     config: DatapathConfig = DatapathConfig(),
 ) -> DatapathResult:
     """Run budgeted greedy delay fixing; mutates the netlist in place."""
-    netlist = analyzer.netlist
+    with obs.span("ccd.datapath"):
+        result = _optimize_datapath(analyzer, clock, margins, config)
+    obs.incr("datapath.sizing_moves", result.sizing_moves)
+    obs.incr("datapath.buffer_moves", result.buffer_moves)
+    obs.incr("datapath.rolled_back", result.rolled_back)
+    return result
+
+
+def _optimize_datapath(
+    analyzer: TimingAnalyzer,
+    clock: ClockModel,
+    margins: Optional[Mapping[int, float]],
+    config: DatapathConfig,
+) -> DatapathResult:
     result = DatapathResult()
 
     report = analyzer.analyze(clock, margins)

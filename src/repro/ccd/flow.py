@@ -25,12 +25,10 @@ orders of magnitude cheaper than re-generating or deep-copying the design.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-import numpy as np
-
+from repro import obs
 from repro.ccd.datapath_opt import DatapathConfig, DatapathResult, optimize_datapath
 from repro.ccd.margins import margins_by_amount, margins_to_wns
 from repro.ccd.useful_skew import UsefulSkewConfig, UsefulSkewResult, optimize_useful_skew
@@ -94,40 +92,73 @@ def run_flow(
     With an empty ``prioritized_endpoints`` this is the *default tool flow*;
     with an agent/baseline selection it is the *RL-enhanced flow*.
     """
-    start_time = time.perf_counter()
+    watch = obs.Stopwatch()
     prioritized = [int(e) for e in prioritized_endpoints]
-    analyzer = TimingAnalyzer(netlist)
-    clock = ClockModel.for_netlist(netlist, config.clock_period)
+    with obs.span("flow.run"):
+        analyzer = TimingAnalyzer(netlist)
+        clock = ClockModel.for_netlist(netlist, config.clock_period)
 
-    begin_report = analyzer.analyze(clock)
-    begin_summary = summarize(begin_report)
-    begin_power = report_power(netlist, clock)
+        with obs.span("flow.begin_sta") as sp_begin:
+            begin_report = analyzer.analyze(clock)
+            begin_summary = summarize(begin_report)
+            begin_power = report_power(netlist, clock)
 
-    # --- endpoint prioritization via margins (RL flow only) ----------- #
-    margins: Mapping[int, float] = {}
-    if prioritized:
-        if config.margin_mode == "wns":
-            margins = margins_to_wns(begin_report, prioritized)
-        else:
-            margins = margins_by_amount(prioritized, float(config.margin_mode))
+        # --- endpoint prioritization via margins (RL flow only) ------- #
+        margins: Mapping[int, float] = {}
+        if prioritized:
+            if config.margin_mode == "wns":
+                margins = margins_to_wns(begin_report, prioritized)
+            else:
+                margins = margins_by_amount(prioritized, float(config.margin_mode))
 
-    # --- clock-path optimization: useful skew ------------------------- #
-    skew_result = optimize_useful_skew(analyzer, clock, margins, config.skew)
+        # --- clock-path optimization: useful skew --------------------- #
+        with obs.span("flow.skew") as sp_skew:
+            skew_result = optimize_useful_skew(analyzer, clock, margins, config.skew)
 
-    # --- margins removed (Algorithm 1 line 16) ------------------------ #
-    margins = {}
+        # --- margins removed (Algorithm 1 line 16) -------------------- #
+        margins = {}
 
-    # --- remaining placement optimization: data-path fixing ----------- #
-    datapath_result = optimize_datapath(analyzer, clock, margins, config.datapath)
+        # --- remaining placement optimization: data-path fixing ------- #
+        with obs.span("flow.datapath") as sp_datapath:
+            datapath_result = optimize_datapath(
+                analyzer, clock, margins, config.datapath
+            )
 
-    # --- final skew cleanup (CCD interleaving continues in the tail) -- #
-    if config.final_skew_pass:
-        optimize_useful_skew(analyzer, clock, margins, config.skew)
+        # --- final skew cleanup (CCD interleaving continues in tail) -- #
+        with obs.span("flow.final_skew") as sp_final_skew:
+            if config.final_skew_pass:
+                optimize_useful_skew(analyzer, clock, margins, config.skew)
 
-    final_report = analyzer.analyze(clock)
-    final_summary = summarize(final_report)
-    final_power = report_power(netlist, clock)
-    runtime = time.perf_counter() - start_time
+        with obs.span("flow.final_sta") as sp_final:
+            final_report = analyzer.analyze(clock)
+            final_summary = summarize(final_report)
+            final_power = report_power(netlist, clock)
+    runtime = watch.elapsed
+    obs.gauge("flow.endpoints", begin_summary.num_endpoints)
+
+    if obs.tracing():
+        obs.emit(
+            "flow",
+            {
+                "endpoints": begin_summary.num_endpoints,
+                "prioritized": len(prioritized),
+                "begin_tns": begin_summary.tns,
+                "begin_wns": begin_summary.wns,
+                "final_tns": final_summary.tns,
+                "final_wns": final_summary.wns,
+                "final_nve": final_summary.nve,
+                "skew_commits": skew_result.commits,
+                "datapath_moves": datapath_result.total_moves,
+                "phases": {
+                    "begin_sta": sp_begin.elapsed,
+                    "skew": sp_skew.elapsed,
+                    "datapath": sp_datapath.elapsed,
+                    "final_skew": sp_final_skew.elapsed,
+                    "final_sta": sp_final.elapsed,
+                },
+                "runtime_seconds": runtime,
+            },
+        )
 
     return FlowResult(
         begin=begin_summary,
@@ -150,7 +181,14 @@ def run_flow(
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class NetlistState:
-    """Reversible snapshot of flow-mutable netlist state."""
+    """Reversible snapshot of flow-mutable netlist state.
+
+    When observability verify mode is on (``REPRO_OBS_VERIFY=1``) and the
+    snapshot was taken with a ``verify_clock_period``, the snapshot also
+    pins the begin timing summary; every restore then re-runs STA and
+    asserts the summary came back **bit-for-bit**, so silent snapshot drift
+    surfaces as a hard error in CI instead of a bogus RL reward.
+    """
 
     num_cells: int
     num_nets: int
@@ -159,10 +197,31 @@ class NetlistState:
     cell_fanins: Tuple[Tuple[Optional[int], ...], ...]
     cell_fanouts: Tuple[Optional[int], ...]
     parasitic_scale: float = 1.0
+    verify_clock_period: Optional[float] = None
+    verify_summary: Optional[TimingSummary] = None
 
 
-def snapshot_netlist_state(netlist: Netlist) -> NetlistState:
-    """Capture sizes and connectivity before a flow run."""
+def _fresh_summary(netlist: Netlist, clock_period: float) -> TimingSummary:
+    """Begin-state summary from a fresh analyzer (deterministic)."""
+    analyzer = TimingAnalyzer(netlist)
+    clock = ClockModel.for_netlist(netlist, clock_period)
+    return summarize(analyzer.analyze(clock))
+
+
+def snapshot_netlist_state(
+    netlist: Netlist, verify_clock_period: Optional[float] = None
+) -> NetlistState:
+    """Capture sizes and connectivity before a flow run.
+
+    ``verify_clock_period`` arms the verify-mode integrity check (see
+    :class:`NetlistState`); it costs one extra STA run per snapshot and per
+    restore, so it is only honoured when verify mode is enabled.
+    """
+    verify_summary = None
+    if verify_clock_period is not None and obs.verify_enabled():
+        verify_summary = _fresh_summary(netlist, verify_clock_period)
+    else:
+        verify_clock_period = None
     return NetlistState(
         num_cells=netlist.num_cells,
         num_nets=netlist.num_nets,
@@ -171,6 +230,8 @@ def snapshot_netlist_state(netlist: Netlist) -> NetlistState:
         cell_fanins=tuple(tuple(c.fanin_nets) for c in netlist.cells),
         cell_fanouts=tuple(c.fanout_net for c in netlist.cells),
         parasitic_scale=netlist.parasitic_scale,
+        verify_clock_period=verify_clock_period,
+        verify_summary=verify_summary,
     )
 
 
@@ -190,3 +251,14 @@ def restore_netlist_state(netlist: Netlist, state: NetlistState) -> None:
     for net, sinks in zip(netlist.nets, state.net_sinks):
         net.sinks = list(sinks)
     netlist.parasitic_scale = state.parasitic_scale
+
+    if state.verify_summary is not None and obs.verify_enabled():
+        assert state.verify_clock_period is not None
+        roundtrip = _fresh_summary(netlist, state.verify_clock_period)
+        if roundtrip != state.verify_summary:
+            raise RuntimeError(
+                "netlist snapshot drift: timing after restore_netlist_state "
+                f"differs from the pre-run summary — expected "
+                f"{state.verify_summary}, got {roundtrip}"
+            )
+        obs.incr("flow.verified_restores")

@@ -18,7 +18,7 @@ richer problem than the single-shot placement-stage selection of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.agent.env import EndpointSelectionEnv

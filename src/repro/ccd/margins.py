@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping
 
-import numpy as np
 
 from repro.timing.metrics import wns
 from repro.timing.sta import TimingReport

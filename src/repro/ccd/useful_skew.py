@@ -39,6 +39,7 @@ from typing import Dict, Mapping, Optional, Set
 
 import numpy as np
 
+from repro import obs
 from repro.timing.clock import ClockModel
 from repro.timing.sta import TimingAnalyzer
 from repro.utils.validation import check_positive
@@ -105,6 +106,20 @@ def optimize_useful_skew(
     config: UsefulSkewConfig = UsefulSkewConfig(),
 ) -> UsefulSkewResult:
     """Sequential priority skew optimization; mutates ``clock`` in place."""
+    with obs.span("ccd.useful_skew"):
+        result = _optimize_useful_skew(analyzer, clock, margins, config)
+    obs.incr("skew.commits", result.commits)
+    obs.incr("skew.recovery_commits", result.recovery_commits)
+    obs.incr("skew.passes", result.passes_run)
+    return result
+
+
+def _optimize_useful_skew(
+    analyzer: TimingAnalyzer,
+    clock: ClockModel,
+    margins: Optional[Mapping[int, float]],
+    config: UsefulSkewConfig,
+) -> UsefulSkewResult:
     result = UsefulSkewResult()
     committed: Set[int] = set()
     eps = config.epsilon

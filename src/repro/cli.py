@@ -7,16 +7,23 @@ Usage (after ``pip install -e .``)::
     python -m repro fig6
     python -m repro ablations
     python -m repro blocks                # list the 19 designs
+    python -m repro bench --out BENCH_smoke.json   # CI perf smoke run
 
 Equivalent to the pytest benchmarks but convenient for one-off runs and for
 driving larger sweeps (e.g. ``REPRO_BENCH_SCALE=200 python -m repro table2``).
+
+Global observability flags (before the subcommand):
+
+* ``-v`` / ``-vv`` — log the ``repro.*`` hierarchy at INFO / DEBUG;
+* ``--trace PATH`` — enable the :mod:`repro.obs` recorder and append one
+  JSONL run record per flow run / training episode to ``PATH`` (same effect
+  as ``REPRO_OBS=PATH``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 
@@ -24,6 +31,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RL-CCD reproduction: regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log repro.* at INFO (-v) or DEBUG (-vv)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable observability and append JSONL run records to PATH",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -46,14 +66,48 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("ablations", help="run the A1-A3 ablations")
     sub.add_parser("blocks", help="list the 19 benchmark designs")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the fixed perf smoke workload and write BENCH_<sha>.json",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: BENCH_<git sha>.json in the cwd)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--episodes", type=int, default=4)
+    bench.add_argument("--cells", type=int, default=320)
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="diff phase medians against a committed BENCH_*.json baseline "
+        "and warn (never fail) on regressions",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="relative median regression tolerance for --compare (default 0.2)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     # Imports deferred so `--help` stays instant.
+    from repro import obs
     from repro.benchsuite.designs import BLOCKS, bench_scale, get_block
     from repro.benchsuite.table2 import Table2Config
+
+    obs.setup_logging(args.verbose)
+    log = obs.get_logger("cli")
+    if args.trace:
+        obs.set_trace_path(args.trace)
+        log.info("tracing run records to %s", args.trace)
 
     if args.command == "blocks":
         print(f"{'name':>10} {'paper cells':>12} {'generated':>10} {'tech':>7}")
@@ -65,7 +119,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"(scale 1/{bench_scale()}; override with REPRO_BENCH_SCALE)")
         return 0
 
-    config = Table2Config(max_episodes=args.episodes, seed=args.seed)
+    if args.command == "bench":
+        from repro.benchsuite.report import format_bench
+        from repro.obs.bench import (
+            BenchConfig,
+            compare_bench,
+            default_output_name,
+            load_bench,
+            run_bench,
+            save_bench,
+        )
+
+        # Load the baseline up front so a bad --compare path fails before
+        # the (slow) workload runs, not after.
+        baseline = load_bench(args.compare) if args.compare else None
+        payload = run_bench(
+            BenchConfig(seed=args.seed, episodes=args.episodes, cells=args.cells)
+        )
+        out = args.out or default_output_name()
+        save_bench(payload, out)
+        print(format_bench(payload))
+        print(f"wrote {out}", file=sys.stderr)
+        if baseline is not None:
+            warnings = compare_bench(baseline, payload, tolerance=args.tolerance)
+            for warning in warnings:
+                # GitHub Actions turns `::warning ::` lines into annotations;
+                # locally they read fine as plain stderr output.
+                print(f"::warning ::bench regression: {warning}", file=sys.stderr)
+            if not warnings:
+                print(
+                    f"no phase median regressed beyond "
+                    f"{100.0 * args.tolerance:.0f}% of {args.compare}",
+                    file=sys.stderr,
+                )
+        return 0
+
+    # ``ablations`` has no --episodes/--seed flags; fall back to defaults.
+    config = Table2Config(
+        max_episodes=getattr(args, "episodes", 12), seed=getattr(args, "seed", 0)
+    )
 
     if args.command == "table2":
         from repro.benchsuite.report import format_table2
@@ -78,10 +170,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         rows = []
         for spec in specs:
-            start = time.perf_counter()
-            rows.append(run_table2_row(spec, config))
+            watch = obs.Stopwatch()
+            with obs.span("cli.table2_row"):
+                rows.append(run_table2_row(spec, config))
             print(
-                f"{spec.name}: done in {time.perf_counter() - start:.1f}s",
+                f"{spec.name}: done in {watch.elapsed:.1f}s",
                 file=sys.stderr,
             )
         print(format_table2(rows))

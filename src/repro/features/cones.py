@@ -15,10 +15,11 @@ candidates with ratio > ρ are masked (default ρ = 0.3, Algorithm 1).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+from typing import Dict, FrozenSet, List, Sequence, Set
 
 import numpy as np
 
+from repro import obs
 from repro.netlist.core import Netlist
 from repro.utils.validation import check_probability
 
@@ -49,9 +50,11 @@ class ConeIndex:
         self.netlist = netlist
         self.endpoints: List[int] = list(endpoints)
         self._position: Dict[int, int] = {e: i for i, e in enumerate(self.endpoints)}
-        self.cones: List[FrozenSet[int]] = [
-            fanin_cone(netlist, e) for e in self.endpoints
-        ]
+        with obs.span("features.cone_extraction"):
+            self.cones: List[FrozenSet[int]] = [
+                fanin_cone(netlist, e) for e in self.endpoints
+            ]
+        obs.incr("cones.extracted", len(self.cones))
 
     def __len__(self) -> int:
         return len(self.endpoints)

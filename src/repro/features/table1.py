@@ -35,7 +35,7 @@ the expensive static part is computed once per trajectory.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -107,7 +107,6 @@ class FeatureExtractor:
         power_scale = 10.0
 
         flagged = set(masked_or_selected)
-        slew_in = np.zeros(n)
         for cell in netlist.cells:
             i = cell.index
             features[i, 0] = 1.0 if i in flagged else 0.0

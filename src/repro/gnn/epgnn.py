@@ -28,13 +28,13 @@ row-gather + segment-sum over the CSR message-passing graph built by
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 
+from repro import obs
 from repro.features.cones import ConeIndex
 from repro.netlist.transform import MessagePassingGraph
-from repro.nn import init
 from repro.nn.layers import Linear, Module
 from repro.nn.tensor import Tensor
 from repro.utils.rng import SeedLike, as_rng
@@ -141,18 +141,21 @@ class EPGNN(Module):
         cones: ConeIndex,
     ) -> Tensor:
         """Endpoint embeddings ``F_EP`` per Eq. 3 (num_endpoints × embed_dim)."""
-        nodes = self.node_embeddings(features, graph)
-        pooled_rows = []
-        for endpoint, cone in zip(cones.endpoints, cones.cones):
-            own = nodes[endpoint]
-            if cone:
-                cone_sum = nodes.gather_rows(
-                    np.fromiter(cone, dtype=np.int64, count=len(cone))
-                ).sum(axis=0)
-                pooled_rows.append(own + cone_sum)
-            else:
-                pooled_rows.append(own)
-        from repro.nn.tensor import stack
+        with obs.span("gnn.forward"):
+            nodes = self.node_embeddings(features, graph)
+            pooled_rows = []
+            for endpoint, cone in zip(cones.endpoints, cones.cones):
+                own = nodes[endpoint]
+                if cone:
+                    cone_sum = nodes.gather_rows(
+                        np.fromiter(cone, dtype=np.int64, count=len(cone))
+                    ).sum(axis=0)
+                    pooled_rows.append(own + cone_sum)
+                else:
+                    pooled_rows.append(own)
+            from repro.nn.tensor import stack
 
-        pooled = stack(pooled_rows, axis=0)
-        return self.fc(pooled)
+            pooled = stack(pooled_rows, axis=0)
+            result = self.fc(pooled)
+        obs.incr("gnn.forward_passes")
+        return result

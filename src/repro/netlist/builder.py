@@ -14,7 +14,7 @@ without managing net indices by hand::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.netlist.core import Cell, Netlist
 from repro.netlist.library import Library

@@ -31,15 +31,15 @@ startpoints at level 0.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.netlist.core import Cell, Netlist
-from repro.netlist.library import Library, get_library
+from repro.netlist.library import get_library
 from repro.netlist.validate import validate_netlist
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive, check_probability
 
 # Combinational cell-type mix: weighted toward 1–2 input gates so cone growth

@@ -21,7 +21,7 @@ distance **µm**.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.utils.validation import check_positive

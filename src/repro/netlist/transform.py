@@ -18,7 +18,6 @@ The result is a CSR-style adjacency usable for vectorized mean aggregation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -9,7 +9,6 @@ inside the autograd tape.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

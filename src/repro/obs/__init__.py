@@ -1,0 +1,85 @@
+"""``repro.obs`` — the observability layer.
+
+Three small, dependency-free pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.core` — a process-global :class:`Recorder` of phase
+  timers (``with obs.span("sta.full_update")``), counters
+  (``obs.incr("skew.commits")``) and gauges; fork-safe merge for the
+  parallel trainer; strict no-op when disabled;
+* :mod:`repro.obs.records` — structured JSONL run records behind
+  ``REPRO_OBS=<path>`` / ``--trace``;
+* :mod:`repro.obs.logging` — the stdlib ``repro.*`` logger hierarchy
+  (:func:`setup_logging`);
+* :mod:`repro.obs.bench` — the ``python -m repro bench`` smoke workload
+  whose ``BENCH_<sha>.json`` output CI publishes and diffs.
+
+Typical instrumentation::
+
+    from repro import obs
+
+    with obs.span("ccd.useful_skew"):
+        ...
+        obs.incr("skew.commits")
+"""
+
+from repro.obs.core import (
+    ENV_VAR,
+    VERIFY_ENV_VAR,
+    Recorder,
+    Span,
+    Stopwatch,
+    child_reset,
+    disable,
+    enable,
+    enabled,
+    export_state,
+    gauge,
+    get_recorder,
+    incr,
+    merge_state,
+    reset,
+    set_verify,
+    span,
+    verify_enabled,
+)
+from repro.obs.logging import get_logger, setup_logging, verbosity_to_level
+from repro.obs.records import (
+    SCHEMA,
+    emit,
+    git_sha,
+    read_records,
+    set_trace_path,
+    trace_path,
+    tracing,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "VERIFY_ENV_VAR",
+    "Recorder",
+    "Span",
+    "Stopwatch",
+    "SCHEMA",
+    "child_reset",
+    "disable",
+    "emit",
+    "enable",
+    "enabled",
+    "export_state",
+    "gauge",
+    "get_logger",
+    "get_recorder",
+    "git_sha",
+    "incr",
+    "merge_state",
+    "read_records",
+    "reset",
+    "set_trace_path",
+    "set_verify",
+    "setup_logging",
+    "span",
+    "trace_path",
+    "tracing",
+    "verbosity_to_level",
+    "verify_enabled",
+]

@@ -1,0 +1,238 @@
+"""``python -m repro bench`` — the fixed smoke workload CI publishes.
+
+Runs a small, fully seeded design through the default flow and a short
+RL-CCD training (enough episodes to exercise rollout, parallel-free flow
+evaluation and the policy update), with the :mod:`repro.obs` recorder on,
+then aggregates the recorder into the ``BENCH_<sha>.json`` schema::
+
+    {"schema": "repro-bench/v1", "git_sha": ..., "seed": ..., ...,
+     "design": {"name", "cells", "endpoints", "clock_period"},
+     "metrics": {...deterministic quality numbers...},
+     "counters": {...deterministic event counts...},
+     "phases": {"<name>": {"count", "total_s", "median_s", "p90_s", "max_s"}},
+     "total_seconds": <wall>}
+
+``metrics``/``counters``/``design`` are deterministic for a fixed seed;
+only ``phases``/``total_seconds``/``host`` carry wall-clock noise — CI
+diffs phase medians against the committed baseline and *warns* (never
+fails) beyond the tolerance, because shared runners are noisy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.obs import core as obs
+from repro.obs import records
+
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Phase medians whose baseline/candidate ratio exceeds ``1 + tolerance``
+#: are flagged by :func:`compare_bench`; below this floor a phase is too
+#: fast for a stable ratio on shared hardware.
+MIN_COMPARABLE_SECONDS = 1e-4
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Smoke-workload knobs (defaults are what CI runs)."""
+
+    seed: int = 0
+    episodes: int = 4
+    cells: int = 320
+    violating_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.episodes < 1:
+            raise ValueError("episodes must be >= 1")
+        if self.cells < 50:
+            raise ValueError("cells must be >= 50 for a meaningful workload")
+
+
+def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
+    """Run the smoke workload and return the BENCH payload (see module doc).
+
+    Enables the recorder for the duration (restoring the previous flag) and
+    starts from a clean slate so two calls in one process agree.
+    """
+    # Deferred imports: the bench depends on the whole stack, the obs layer
+    # must not.
+    from repro.agent.env import EndpointSelectionEnv
+    from repro.agent.policy import RLCCDPolicy
+    from repro.agent.reinforce import TrainConfig, train_rlccd
+    from repro.ccd.flow import FlowConfig, restore_netlist_state, run_flow, snapshot_netlist_state
+    from repro.features.table1 import NUM_FEATURES
+    from repro.netlist.generator import GeneratorConfig, generate_design
+    from repro.placement.global_place import PlacementConfig, place_design
+    from repro.timing.clock import ClockModel
+    from repro.timing.metrics import choose_clock_period
+    from repro.timing.sta import TimingAnalyzer
+
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
+    watch = obs.Stopwatch()
+    try:
+        # ---- fixed workload (independent of REPRO_BENCH_SCALE) -------- #
+        gen = GeneratorConfig(
+            name="bench_smoke",
+            library="tech7",
+            n_cells=config.cells,
+            n_inputs=max(8, config.cells // 40),
+            n_outputs=max(6, config.cells // 60),
+            seed=config.seed,
+        )
+        netlist = generate_design(gen)
+        place_design(netlist, PlacementConfig(seed=config.seed))
+        analyzer = TimingAnalyzer(netlist)
+        nominal = netlist.library.default_clock_period
+        report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))
+        period = choose_clock_period(report, nominal, config.violating_fraction)
+
+        flow_config = FlowConfig(clock_period=period)
+        snapshot = snapshot_netlist_state(netlist, verify_clock_period=period)
+
+        default_result = run_flow(netlist, flow_config)
+        restore_netlist_state(netlist, snapshot)
+
+        env = EndpointSelectionEnv(netlist, period)
+        policy = RLCCDPolicy(NUM_FEATURES, rng=config.seed)
+        training = train_rlccd(
+            policy,
+            env,
+            flow_config,
+            TrainConfig(max_episodes=config.episodes, seed=config.seed),
+        )
+        restore_netlist_state(netlist, snapshot)
+
+        state = obs.get_recorder().export_state()
+        total = watch.elapsed
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+    payload: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "git_sha": records.git_sha(),
+        "seed": config.seed,
+        "episodes": config.episodes,
+        "design": {
+            "name": gen.name,
+            "cells": netlist.num_cells,
+            "endpoints": len(env.endpoints),
+            "clock_period": period,
+        },
+        "metrics": {
+            "begin_wns": default_result.begin.wns,
+            "begin_tns": default_result.begin.tns,
+            "begin_nve": default_result.begin.nve,
+            "default_wns": default_result.final.wns,
+            "default_tns": default_result.final.tns,
+            "default_nve": default_result.final.nve,
+            "rlccd_best_tns": training.best_tns,
+            "episodes_run": training.episodes_run,
+        },
+        "counters": {k: v for k, v in sorted(state["counters"].items())},
+        "phases": aggregate_phases(state["phases"]),
+        "total_seconds": total,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    return payload
+
+
+def aggregate_phases(phases: Dict[str, Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Recorder phase stats → count/total/median/p90/max summary table."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in sorted(phases):
+        durations = np.asarray(phases[name]["durations"], dtype=np.float64)
+        if durations.size == 0:
+            continue
+        out[name] = {
+            "count": int(durations.size),
+            "total_s": float(durations.sum()),
+            "median_s": float(np.median(durations)),
+            "p90_s": float(np.quantile(durations, 0.9)),
+            "max_s": float(durations.max()),
+        }
+    return out
+
+
+def save_bench(payload: Dict[str, Any], path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"not a {BENCH_SCHEMA} file: {path!r}")
+    return payload
+
+
+def default_output_name() -> str:
+    return f"BENCH_{records.git_sha()}.json"
+
+
+def compare_bench(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    tolerance: float = 0.2,
+) -> List[str]:
+    """Human-readable warnings for phase medians regressed beyond tolerance.
+
+    Advisory only (CI warns, never fails): returns one line per phase whose
+    candidate median exceeds the baseline median by more than
+    ``tolerance`` (relative), skipping sub-:data:`MIN_COMPARABLE_SECONDS`
+    phases where scheduler noise dominates.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    warnings: List[str] = []
+    base_phases = baseline.get("phases", {})
+    for name, cand in sorted(candidate.get("phases", {}).items()):
+        base = base_phases.get(name)
+        if base is None:
+            continue
+        base_median = float(base["median_s"])
+        cand_median = float(cand["median_s"])
+        if base_median < MIN_COMPARABLE_SECONDS:
+            continue
+        if cand_median > base_median * (1.0 + tolerance):
+            warnings.append(
+                f"phase {name}: median {cand_median * 1e3:.3f} ms vs baseline "
+                f"{base_median * 1e3:.3f} ms "
+                f"(+{100.0 * (cand_median / base_median - 1.0):.0f}%, "
+                f"tolerance {100.0 * tolerance:.0f}%)"
+            )
+    return warnings
+
+
+def strip_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy of a BENCH payload with every wall-clock field removed.
+
+    What remains (metrics, counters, phase *counts*, design identity) must
+    be identical across same-seed runs; the determinism test asserts so.
+    """
+    out = {
+        k: v
+        for k, v in payload.items()
+        if k not in ("phases", "total_seconds", "host", "git_sha")
+    }
+    out["phases"] = {
+        name: {"count": stats["count"]}
+        for name, stats in payload.get("phases", {}).items()
+    }
+    return out

@@ -1,0 +1,64 @@
+"""Stdlib logging for the ``repro.*`` hierarchy.
+
+Every module logs through ``obs.get_logger("<sub>")`` which returns the
+stdlib logger ``repro.<sub>``; :func:`setup_logging` attaches one stream
+handler to the ``repro`` root and maps a CLI-style verbosity count to a
+level (0 → WARNING, 1 → INFO, ≥2 → DEBUG).  Re-invoking it reconfigures
+the existing handler instead of stacking duplicates, so tests and REPLs can
+call it freely.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """CLI ``-v`` count → logging level."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root logger.
+
+    Idempotent: the single handler it owns is replaced, handlers installed
+    by embedding applications are left alone, and propagation to the global
+    root is cut off so messages are not printed twice under pytest's
+    ``logging`` plugin or user-configured root handlers.
+    """
+    root = logging.getLogger(ROOT_NAME)
+    level = verbosity_to_level(verbosity)
+    root.setLevel(level)
+    root.propagate = False
+
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    return root
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` root logger, or the ``repro.<name>`` child."""
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name.startswith(ROOT_NAME + ".") or name == ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")

@@ -1,0 +1,135 @@
+"""Structured JSONL run records.
+
+One line per flow run / training iteration, written to the path given by
+``REPRO_OBS=<path>`` or the ``--trace <path>`` CLI flag.  Every record is a
+single JSON object with a fixed envelope::
+
+    {"schema": "repro-obs/v1", "kind": "flow" | "episode" | ...,
+     "git_sha": "<short sha or 'unknown'>", ...payload}
+
+Records are append-only and flushed per line, so a crashed run keeps every
+record emitted before the crash and concurrent readers (``tail -f``, CI log
+scrapers) always see whole lines.  Timing fields live under ``phases`` /
+``*_seconds`` keys; everything else is deterministic for a fixed seed, which
+is what the determinism test in ``tests/test_obs.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import threading
+from typing import Any, Dict, Optional
+
+from repro.obs import core
+
+SCHEMA = "repro-obs/v1"
+
+_lock = threading.Lock()
+_trace_path: Optional[str] = None
+_git_sha: Optional[str] = None
+
+
+def _init_from_env() -> None:
+    """Honour ``REPRO_OBS=<path>`` at import time (truthy flags enable the
+    recorder only; anything else is treated as a trace-sink path)."""
+    value = os.environ.get(core.ENV_VAR, "").strip()
+    if not value or value.lower() in core._TRUTHY:
+        return
+    set_trace_path(value)
+
+
+def set_trace_path(path: Optional[str]) -> None:
+    """Point the JSONL sink at ``path`` (``None`` disconnects it).
+
+    Setting a sink implies enabling the recorder — a trace with empty phase
+    data would be useless.  The parent directory is created eagerly so a
+    bad path fails here, not at the first record mid-run.
+    """
+    global _trace_path
+    if path:
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+    with _lock:
+        _trace_path = path
+    if path:
+        core.enable()
+
+
+def trace_path() -> Optional[str]:
+    return _trace_path
+
+
+def tracing() -> bool:
+    """Whether run records are being written."""
+    return _trace_path is not None
+
+
+def git_sha() -> str:
+    """Short git sha of the repo this package runs from (cached; ``unknown``
+    outside a git checkout or without a git binary)."""
+    global _git_sha
+    if _git_sha is None:
+        try:
+            root = os.path.dirname(os.path.abspath(__file__))
+            out = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+            _git_sha = out.stdout.strip() if out.returncode == 0 else "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _git_sha = "unknown"
+    return _git_sha
+
+
+def emit(kind: str, payload: Dict[str, Any]) -> None:
+    """Append one run record (no-op when no sink is configured).
+
+    The envelope keys (``schema``, ``kind``, ``git_sha``) win over payload
+    keys of the same name.
+    """
+    path = _trace_path
+    if path is None:
+        return
+    record = dict(payload)
+    record["schema"] = SCHEMA
+    record["kind"] = kind
+    record["git_sha"] = git_sha()
+    line = json.dumps(record, sort_keys=True, default=_jsonify)
+    with _lock:
+        with open(path, "a") as handle:
+            handle.write(line + "\n")
+
+
+def _jsonify(value: Any) -> Any:
+    """Last-resort encoder for numpy scalars and other number-likes."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except (TypeError, ValueError):
+            continue
+    return str(value)
+
+
+def read_records(path: str) -> list:
+    """Parse a JSONL trace back into a list of dicts (schema-checked)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("schema") != SCHEMA:
+                raise ValueError(
+                    f"record schema {record.get('schema')!r} != {SCHEMA!r} in {path}"
+                )
+            records.append(record)
+    return records
+
+
+_init_from_env()

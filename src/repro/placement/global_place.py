@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.netlist.core import Netlist
 from repro.netlist.transform import to_message_passing_graph
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive
 
 

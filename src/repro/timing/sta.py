@@ -25,11 +25,12 @@ few milliseconds; the CCD engines simply re-run STA after each move batch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.netlist.core import Netlist
 from repro.timing.clock import ClockModel
 
@@ -131,6 +132,7 @@ class TimingAnalyzer:
         every cell — is wasted work the data-path optimizer would otherwise
         pay on every probe move.
         """
+        obs.incr("sta.incremental_update")
         netlist = self.netlist
         cell = netlist.cells[cell_index]
         size = cell.size
@@ -159,9 +161,10 @@ class TimingAnalyzer:
                 f"unknown corner {corner!r}; available: {sorted(self.corners)}"
             )
         if corner not in self._compiled:
-            self._compiled[corner] = compile_timing(
-                self.netlist, derate=self.corners[corner]
-            )
+            with obs.span("sta.compile"):
+                self._compiled[corner] = compile_timing(
+                    self.netlist, derate=self.corners[corner]
+                )
         return self._compiled[corner]
 
     def analyze(
@@ -177,9 +180,10 @@ class TimingAnalyzer:
         ``hold_slack`` / ``cell_min_arrival`` (conventionally run at the
         ``"fast"`` corner, where races are worst).
         """
-        return analyze(
-            self.compiled_for(corner), clock, margins, include_hold=include_hold
-        )
+        with obs.span("sta.full_update"):
+            return analyze(
+                self.compiled_for(corner), clock, margins, include_hold=include_hold
+            )
 
 
 def compile_timing(netlist: Netlist, derate: float = 1.0) -> CompiledTiming:

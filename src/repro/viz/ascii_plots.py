@@ -12,7 +12,7 @@ matplotlib dependency, deterministic output, safe to diff in CI logs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

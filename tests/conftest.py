@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.ccd.flow import FlowConfig
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.generator import quick_design
 from repro.netlist.library import get_library

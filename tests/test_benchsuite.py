@@ -7,7 +7,6 @@ benchmarks measure.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.benchsuite.ablations import overfix_vs_underfix, rho_sweep, selection_baselines
@@ -28,7 +27,6 @@ from repro.benchsuite.report import (
 )
 from repro.benchsuite.table2 import (
     Table2Config,
-    run_table2,
     run_table2_row,
     summarize_improvements,
 )
@@ -176,9 +174,9 @@ class TestAblationHarnesses:
     def test_overfix_vs_underfix(self):
         points = overfix_vs_underfix(self.SPEC, FAST)
         labels = [p.label for p in points]
-        assert any("over-fix" in l for l in labels)
-        assert any("under-fix" in l for l in labels)
-        assert any("default" in l for l in labels)
+        assert any("over-fix" in lab for lab in labels)
+        assert any("under-fix" in lab for lab in labels)
+        assert any("default" in lab for lab in labels)
         text = format_ablation("A1", points)
         assert "A1" in text
 

@@ -16,7 +16,7 @@ from repro.ccd.flow import (
 from repro.ccd.margins import margins_by_amount, margins_to_wns, remove_margins
 from repro.ccd.useful_skew import UsefulSkewConfig, optimize_useful_skew
 from repro.timing.clock import ClockModel
-from repro.timing.metrics import summarize, tns, violating_endpoints
+from repro.timing.metrics import tns, violating_endpoints
 from repro.timing.sta import TimingAnalyzer
 
 
@@ -232,7 +232,7 @@ class TestFlow:
         assert [c.size_index for c in nl.cells] == sizes
         # Timing identical after restore.
         analyzer = TimingAnalyzer(nl)
-        rep = analyzer.analyze(ClockModel.for_netlist(nl, period))
+        analyzer.analyze(ClockModel.for_netlist(nl, period))
         rep2_nl_sizes = [c.size_index for c in nl.cells]
         assert rep2_nl_sizes == sizes
 

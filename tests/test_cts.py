@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cts.htree import ClockTree, ClockTreeConfig, apply_clock_tree
@@ -146,7 +145,7 @@ class TestCtsWithFullFlow:
         rep = analyzer.analyze(ClockModel.for_netlist(nl, nominal))
         period = choose_clock_period(rep, nominal, 0.35)
         env = EndpointSelectionEnv(nl, period)
-        state = env.reset()
+        env.reset()
         assert env.num_endpoints > 0
         env.step(0)
         assert len(env.selected_cells()) == 1

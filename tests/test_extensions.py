@@ -143,7 +143,6 @@ class TestAdaptiveMasking:
     def test_size_adaptive_large_cone_masks_more(self, cones):
         sizes = cones.cone_sizes()
         order = np.argsort(sizes)
-        small_ep = cones.endpoints[int(order[0])]
         large_ep = cones.endpoints[int(order[-1])]
         if sizes[order[0]] == sizes[order[-1]]:
             pytest.skip("fixture has uniform cone sizes")

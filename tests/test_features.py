@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.features.cones import ConeIndex, fanin_cone
 from repro.features.table1 import FEATURE_NAMES, NUM_FEATURES, FeatureExtractor
 from repro.netlist.generator import quick_design
-from repro.placement.global_place import PlacementConfig, place_design
 from repro.timing.clock import ClockModel
 from repro.timing.sta import TimingAnalyzer
 

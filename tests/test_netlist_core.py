@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.core import Netlist
-from repro.netlist.library import LIBRARIES, CellSize, CellType, get_library
+from repro.netlist.library import LIBRARIES, CellType, get_library
 
 
 class TestLibrary:

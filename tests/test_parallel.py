@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.agent.env import EndpointSelectionEnv
 from repro.agent.baselines import select_random, select_worst_slack
+from repro.agent.env import EndpointSelectionEnv
 from repro.agent.parallel import FlowReward, evaluate_selections, fork_available
 from repro.ccd.flow import FlowConfig, snapshot_netlist_state
 

@@ -9,7 +9,6 @@ problems with known optima, independent of the EDA substrate.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.nn.functional import masked_log_prob
 from repro.nn.optim import Adam

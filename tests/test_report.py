@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.benchsuite.ablations import AblationPoint, PpaPoint
 from repro.benchsuite.figures import Fig5Result, Fig6Result
@@ -35,14 +34,14 @@ class TestFormatFig5:
 
     def test_one_row_per_bin(self):
         text = format_fig5(self._result())
-        rows = [l for l in text.splitlines() if l.strip().startswith("[")]
+        rows = [ln for ln in text.splitlines() if ln.strip().startswith("[")]
         assert len(rows) == 4
 
     def test_bars_scale_to_peak(self):
         text = format_fig5(self._result())
         # Peak count is 4 -> the longest star bar has 20 chars.
-        star_rows = [l for l in text.splitlines() if "*" in l]
-        assert any(l.count("*") == 20 for l in star_rows)
+        star_rows = [ln for ln in text.splitlines() if "*" in ln]
+        assert any(ln.count("*") == 20 for ln in star_rows)
 
 
 class TestFormatFig6:

@@ -113,7 +113,6 @@ class TestStaOnTinyPipeline:
 
     def test_launch_skew_hurts_downstream_exactly(self, tiny_pipeline):
         nl = tiny_pipeline
-        ff1 = nl.cell_by_name("ff1").index
         ff2 = nl.cell_by_name("ff2").index
         _, _, base = self._analyze(nl)
         _, _, skewed = self._analyze(nl, ff1=0.05)

@@ -3,7 +3,6 @@ prioritization mechanics (the heart of the reproduction)."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.ccd.margins import margins_to_wns
