@@ -26,11 +26,12 @@ import numpy as np
 
 from repro.agent.env import EndpointSelectionEnv
 from repro.gnn.epgnn import EMBED_DIM, EPGNN
-from repro.nn.attention import PointerAttention
+from repro.nn.attention import PointerAttention, logit_stats
 from repro.nn.functional import masked_log_prob
 from repro.nn.layers import Module
 from repro.nn.recurrent import LSTMCell
 from repro.nn.tensor import Tensor
+from repro.obs import telemetry as obs_telemetry
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -43,6 +44,9 @@ class Trajectory:
     log_probs: List[Tensor] = field(default_factory=list)  # connected to tape
     probabilities: List[np.ndarray] = field(default_factory=list)
     entropies: List[Tensor] = field(default_factory=list)  # tape-connected
+    # Per-step RL telemetry; populated only while the obs recorder is
+    # enabled (None otherwise — see repro.obs.telemetry).
+    telemetry: Optional[obs_telemetry.EpisodeTelemetry] = None
 
     def __len__(self) -> int:
         return len(self.actions)
@@ -119,6 +123,7 @@ class RLCCDPolicy(Module):
         rng = as_rng(rng)
         state = env.reset()
         trajectory = Trajectory()
+        trajectory.telemetry = collector = obs_telemetry.for_rollout()
         h, c = self.encoder.initial_state()
         prev_embedding = Tensor(np.zeros(self.embed_dim))  # F_{a_0} = 0
         step_limit = max_steps if max_steps is not None else env.num_endpoints
@@ -135,6 +140,7 @@ class RLCCDPolicy(Module):
                 action = int(rng.choice(len(probs), p=probs))
             log_prob = masked_log_prob(scores, state.valid, action)
 
+            step = len(trajectory)
             trajectory.actions.append(action)
             trajectory.action_cells.append(env.endpoints[action])
             trajectory.log_probs.append(log_prob)
@@ -145,10 +151,26 @@ class RLCCDPolicy(Module):
                 trajectory.entropies.append(
                     entropy(masked_softmax(scores, state.valid))
                 )
+            if collector is not None:
+                stats = logit_stats(scores.data, state.valid, probs)
 
             prev_embedding = embeddings[action]
             state = env.step(action)
+            if collector is not None:
+                collector.record_step(
+                    endpoint=env.endpoints[action],
+                    step=step,
+                    masked_after=len(state.masked),
+                    entropy=_numpy_entropy(probs),
+                    **stats,
+                )
         return trajectory
+
+
+def _numpy_entropy(probabilities: np.ndarray) -> float:
+    """Shannon entropy of a plain probability vector (zeros contribute 0)."""
+    p = probabilities[probabilities > 0]
+    return float(-(p * np.log(p)).sum())
 
 
 def _masked_probabilities(scores: np.ndarray, valid: np.ndarray) -> np.ndarray:

@@ -28,12 +28,14 @@ Practicalities the paper leaves implicit, implemented the standard way:
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro import obs
+from repro.obs import telemetry as obs_telemetry
 from repro.agent.env import EndpointSelectionEnv
 from repro.agent.parallel import evaluate_selections
 from repro.agent.policy import RLCCDPolicy, Trajectory
@@ -176,6 +178,13 @@ def train_rlccd(
 
     max_steps = config.max_selection_steps if config.max_selection_steps > 0 else None
 
+    # Run-record bookkeeping (only populated while tracing): cumulative
+    # per-endpoint selection counts, and the episode payloads of the update
+    # batch in flight — gradient norms exist only once the optimizer step
+    # has run, so records are staged in ``process`` and emitted after it.
+    selection_counts: Counter = Counter()
+    pending_records: List[Dict[str, Any]] = []
+
     def process(trajectory: Trajectory, flow_reward, batch_size: int) -> bool:
         """Norm update, REINFORCE backward, bookkeeping; returns improved."""
         nonlocal episode, best_tns, best_selection
@@ -211,18 +220,29 @@ def train_rlccd(
             record.advantage,
         )
         if obs.tracing():
-            obs.emit(
-                "episode",
-                {
-                    "episode": episode,
-                    "seed": config.seed,
-                    "reward": reward,
-                    "tns": record.tns,
-                    "wns": record.wns,
-                    "nve": record.nve,
-                    "num_selected": record.num_selected,
-                    "advantage": record.advantage,
-                },
+            selection_counts.update(selection)
+            gamma = getattr(policy, "epgnn", None)
+            pending_records.append(
+                obs_telemetry.episode_payload(
+                    {
+                        "episode": episode,
+                        "seed": config.seed,
+                        "reward": reward,
+                        "tns": record.tns,
+                        "wns": record.wns,
+                        "nve": record.nve,
+                        "num_selected": record.num_selected,
+                        "advantage": record.advantage,
+                    },
+                    trajectory.telemetry,
+                    baseline={
+                        "mean": norm.mean,
+                        "std": norm.std,
+                        "count": norm.count,
+                    },
+                    selection_frequency=dict(selection_counts),
+                    gnn_gamma=gamma.gamma_values() if gamma is not None else None,
+                )
             )
         episode += 1
         if reward > best_tns + config.plateau_tolerance:
@@ -285,8 +305,20 @@ def train_rlccd(
                 del trajectory
 
         with obs.span("agent.update"):
-            clip_gradient_norm(policy.parameters(), config.gradient_clip)
+            grad_norm = clip_gradient_norm(policy.parameters(), config.gradient_clip)
             optimizer.step()
+
+        if pending_records:
+            # The whole batch shared one gradient step; every staged episode
+            # record gets that update's pre/post-clip norms, then ships.
+            postclip = min(grad_norm, config.gradient_clip)
+            for payload in pending_records:
+                tele = payload.get("telemetry") or {}
+                tele["grad_norm_preclip"] = grad_norm
+                tele["grad_norm_postclip"] = postclip
+                payload["telemetry"] = tele
+                obs.emit("episode", payload)
+            pending_records.clear()
 
         if batch_improved:
             plateau = 0
@@ -303,6 +335,19 @@ def train_rlccd(
             env.netlist, flow_config, prioritized_endpoints=best_selection
         )
     restore_netlist_state(env.netlist, snapshot)
+    if obs.tracing():
+        obs.emit(
+            "train",
+            {
+                "seed": config.seed,
+                "episodes_run": episode,
+                "converged": converged,
+                "best_tns": float(best_tns),
+                "best_selection": list(best_selection),
+                "design": env.netlist.name,
+                "endpoints": env.num_endpoints,
+            },
+        )
     return TrainingResult(
         history=history,
         best_tns=float(best_tns),

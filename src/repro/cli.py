@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro ablations
     python -m repro blocks                # list the 19 designs
     python -m repro bench --out BENCH_smoke.json   # CI perf smoke run
+    python -m repro train --episodes 5 --seed 0    # RL training smoke run
+    python -m repro report trace.jsonl             # telemetry dashboard
 
 Equivalent to the pytest benchmarks but convenient for one-off runs and for
 driving larger sweeps (e.g. ``REPRO_BENCH_SCALE=200 python -m repro table2``).
@@ -17,7 +19,10 @@ Global observability flags (before the subcommand):
 * ``-v`` / ``-vv`` — log the ``repro.*`` hierarchy at INFO / DEBUG;
 * ``--trace PATH`` — enable the :mod:`repro.obs` recorder and append one
   JSONL run record per flow run / training episode to ``PATH`` (same effect
-  as ``REPRO_OBS=PATH``).
+  as ``REPRO_OBS=PATH``; when both are set the CLI flag wins and the
+  override is logged);
+* ``--profile`` — additionally wrap the command in cProfile + tracemalloc
+  and append one ``profile`` record to the trace (requires a trace sink).
 """
 
 from __future__ import annotations
@@ -43,7 +48,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="PATH",
         default=None,
-        help="enable observability and append JSONL run records to PATH",
+        help="enable observability and append JSONL run records to PATH "
+        "(overrides REPRO_OBS when both are set)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the command (cProfile + tracemalloc) and append a "
+        "'profile' record to the trace; requires --trace or REPRO_OBS=<path>",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -85,13 +97,76 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="BASELINE",
         help="diff phase medians against a committed BENCH_*.json baseline "
-        "and warn (never fail) on regressions",
+        "and warn on regressions (add --enforce to fail instead)",
     )
     bench.add_argument(
         "--tolerance",
         type=float,
         default=0.2,
         help="relative median regression tolerance for --compare (default 0.2)",
+    )
+    bench.add_argument(
+        "--enforce",
+        action="store_true",
+        help="exit nonzero when a phase median exceeds the noise-aware "
+        "threshold (3×MAD over --history runs, or a generous fallback "
+        "against the single --compare baseline)",
+    )
+    bench.add_argument(
+        "--history",
+        default=None,
+        metavar="DIR",
+        help="directory of past BENCH_*.json runs for MAD-based enforcement",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the run over BENCH_baseline.json (or --out) with a "
+        "provenance field, instead of hand-editing the baseline",
+    )
+
+    train = sub.add_parser(
+        "train",
+        help="train RL-CCD on the seeded smoke design (telemetry-friendly)",
+    )
+    train.add_argument("--episodes", type=int, default=8, help="episode cap")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--cells", type=int, default=320)
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel flow-evaluation workers (fork-based)",
+    )
+    train.add_argument(
+        "--entropy-coef",
+        type=float,
+        default=0.0,
+        help="entropy regularization coefficient (0 disables)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render the markdown + ASCII telemetry dashboard from a trace",
+    )
+    report.add_argument("trace", metavar="TRACE", help="JSONL trace to render")
+    report.add_argument(
+        "--history",
+        default=None,
+        metavar="DIR",
+        help="directory of past BENCH_*.json / *.jsonl runs for phase trends",
+    )
+    report.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        help="history window: last N runs for the median+MAD baselines",
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the rendered report to PATH",
     )
     return parser
 
@@ -100,14 +175,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     # Imports deferred so `--help` stays instant.
     from repro import obs
-    from repro.benchsuite.designs import BLOCKS, bench_scale, get_block
-    from repro.benchsuite.table2 import Table2Config
 
     obs.setup_logging(args.verbose)
     log = obs.get_logger("cli")
     if args.trace:
+        # Precedence when both are set: the CLI flag wins over REPRO_OBS
+        # (the explicit, per-invocation intent beats ambient environment),
+        # and the override is logged so neither sink surprises anyone.
+        env_path = obs.env_trace_path()
+        if env_path and env_path != args.trace:
+            log.warning(
+                "--trace %s overrides REPRO_OBS=%s (CLI flag wins)",
+                args.trace,
+                env_path,
+            )
         obs.set_trace_path(args.trace)
         log.info("tracing run records to %s", args.trace)
+
+    if args.profile:
+        if not obs.tracing():
+            print(
+                "error: --profile needs a trace sink; pass --trace PATH or "
+                "set REPRO_OBS=<path>",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.obs.profiling import Profiler
+
+        with Profiler(command=args.command):
+            return _dispatch(args)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.benchsuite.designs import BLOCKS, bench_scale, get_block
+    from repro.benchsuite.table2 import Table2Config
 
     if args.command == "blocks":
         print(f"{'name':>10} {'paper cells':>12} {'generated':>10} {'tech':>7}")
@@ -128,18 +231,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             load_bench,
             run_bench,
             save_bench,
+            update_baseline,
         )
 
         # Load the baseline up front so a bad --compare path fails before
-        # the (slow) workload runs, not after.
-        baseline = load_bench(args.compare) if args.compare else None
+        # the (slow) workload runs, not after — with a one-line error, not
+        # a traceback (missing file and corrupt/foreign JSON alike).
+        baseline = None
+        if args.compare:
+            try:
+                baseline = load_bench(args.compare)
+            except (OSError, ValueError) as exc:
+                print(
+                    f"error: cannot load bench baseline {args.compare}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+        if args.enforce and not (args.compare or args.history):
+            print(
+                "error: --enforce needs --compare BASELINE and/or --history DIR",
+                file=sys.stderr,
+            )
+            return 2
+
         payload = run_bench(
             BenchConfig(seed=args.seed, episodes=args.episodes, cells=args.cells)
         )
-        out = args.out or default_output_name()
-        save_bench(payload, out)
-        print(format_bench(payload))
-        print(f"wrote {out}", file=sys.stderr)
+        if args.update_baseline:
+            out = args.out or "BENCH_baseline.json"
+            payload = update_baseline(payload, out)
+            print(format_bench(payload))
+            print(f"refreshed baseline {out}", file=sys.stderr)
+        else:
+            out = args.out or default_output_name()
+            save_bench(payload, out)
+            print(format_bench(payload))
+            print(f"wrote {out}", file=sys.stderr)
+
         if baseline is not None:
             warnings = compare_bench(baseline, payload, tolerance=args.tolerance)
             for warning in warnings:
@@ -152,6 +280,94 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{100.0 * args.tolerance:.0f}% of {args.compare}",
                     file=sys.stderr,
                 )
+
+        if args.enforce:
+            from repro.obs.history import RunHistory
+
+            if args.history:
+                history = RunHistory.scan(args.history)
+                if len(history) == 0 and baseline is not None:
+                    history = RunHistory.from_payloads([baseline], [args.compare])
+            else:
+                history = RunHistory.from_payloads([baseline], [args.compare])
+            failures = history.check(payload.get("phases", {}), last_n=10)
+            for failure in failures:
+                print(
+                    f"::error ::bench regression: {failure.message()}",
+                    file=sys.stderr,
+                )
+            if failures:
+                return 1
+            print(
+                f"enforced bench gate passed against {len(history)} "
+                f"historical run{'s' if len(history) != 1 else ''}",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.command == "train":
+        from repro.agent.reinforce import TrainConfig, train_rlccd
+        from repro.obs.bench import build_workload
+
+        workload = build_workload(seed=args.seed, cells=args.cells)
+
+        def progress(record) -> None:
+            print(
+                f"episode {record.episode}: tns={record.tns:+.4f} "
+                f"wns={record.wns:+.4f} selected={record.num_selected} "
+                f"advantage={record.advantage:+.3f}",
+                file=sys.stderr,
+            )
+
+        with obs.span("cli.train"):
+            result = train_rlccd(
+                workload.policy,
+                workload.env,
+                workload.flow_config,
+                TrainConfig(
+                    max_episodes=args.episodes,
+                    seed=args.seed,
+                    workers=args.workers,
+                    entropy_coefficient=args.entropy_coef,
+                ),
+                progress=progress,
+            )
+        print(
+            f"design {workload.name}: {workload.env.num_endpoints} violating "
+            f"endpoints at period {workload.clock_period:.4f}"
+        )
+        print(f"episodes run: {result.episodes_run} (converged: {result.converged})")
+        print(
+            f"best TNS: {result.best_tns:+.4f} with "
+            f"{len(result.best_selection)} endpoints prioritized"
+        )
+        if obs.tracing():
+            print(f"run records appended to {obs.trace_path()}", file=sys.stderr)
+        return 0
+
+    if args.command == "report":
+        import os
+
+        from repro.obs.history import RunHistory
+        from repro.obs.report import render_report
+
+        try:
+            trace_records = obs.read_records(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read trace {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        history = RunHistory.scan(args.history) if args.history else None
+        text = render_report(
+            trace_records,
+            history=history,
+            last_n=args.last,
+            source=os.path.basename(args.trace),
+        )
+        print(text)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
         return 0
 
     # ``ablations`` has no --episodes/--seed flags; fall back to defaults.

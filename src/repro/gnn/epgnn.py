@@ -123,6 +123,14 @@ class EPGNN(Module):
             self.layers.append(layer)
         self.fc = self.register_module("fc", Linear(hidden_dim, embed_dim, rng=rng))
 
+    def gamma_values(self) -> List[float]:
+        """Per-layer mixing coefficients γ ∈ (0, 1), outermost layer first.
+
+        γ is the paper's trainable self-vs-neighborhood gate (Eq. 2); its
+        drift over training is part of the per-episode telemetry.
+        """
+        return [layer.gamma for layer in self.layers]
+
     def node_embeddings(self, features: np.ndarray, graph: MessagePassingGraph) -> Tensor:
         """Run the Eq.-2 stack over all cells; (num_cells × hidden_dim)."""
         x = Tensor(np.asarray(features, dtype=np.float64))

@@ -12,6 +12,8 @@ softmax so invalid endpoints receive exactly zero probability.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 import numpy as np
 
 from repro.nn import init
@@ -62,3 +64,42 @@ class PointerAttention(Module):
             f"PointerAttention(embed_dim={self.embed_dim}, "
             f"query_dim={self.query_dim}, hidden_dim={self.hidden_dim})"
         )
+
+
+def logit_stats(
+    scores: np.ndarray,
+    valid: np.ndarray,
+    probabilities: Optional[np.ndarray] = None,
+) -> Dict[str, float]:
+    """Diagnostics of one decode step's attention logits (telemetry).
+
+    Over the *valid* endpoints only (masked positions carry −∞ semantics,
+    not information): the raw logit range plus two concentration measures
+    of the masked softmax ``P_t`` —
+
+    * ``top_prob`` — probability mass on the argmax endpoint;
+    * ``concentration`` — Σ p² (the Herfindahl index / inverse
+      participation ratio): 1/k for a uniform k-way choice, → 1 as the
+      distribution collapses onto one endpoint.
+
+    Pass ``probabilities`` when the masked softmax is already computed (the
+    rollout hot path does) to avoid recomputing it; entropy lives on the
+    telemetry record separately.
+    """
+    scores = np.asarray(scores, dtype=float)
+    valid = np.asarray(valid, dtype=bool)
+    if not valid.any():
+        raise ValueError("logit_stats requires at least one valid position")
+    valid_scores = scores[valid]
+    if probabilities is None:
+        shifted = valid_scores - valid_scores.max()
+        exp = np.exp(shifted)
+        probs = exp / exp.sum()
+    else:
+        probs = np.asarray(probabilities, dtype=float)[valid]
+    return {
+        "logit_min": float(valid_scores.min()),
+        "logit_max": float(valid_scores.max()),
+        "top_prob": float(probs.max()),
+        "concentration": float((probs**2).sum()),
+    }

@@ -1,17 +1,26 @@
 """``repro.obs`` — the observability layer.
 
-Three small, dependency-free pieces (see ``docs/observability.md``):
+Small, dependency-free pieces (see ``docs/observability.md``):
 
 * :mod:`repro.obs.core` — a process-global :class:`Recorder` of phase
   timers (``with obs.span("sta.full_update")``), counters
   (``obs.incr("skew.commits")``) and gauges; fork-safe merge for the
   parallel trainer; strict no-op when disabled;
 * :mod:`repro.obs.records` — structured JSONL run records behind
-  ``REPRO_OBS=<path>`` / ``--trace``;
+  ``REPRO_OBS=<path>`` / ``--trace`` (schema ``repro-obs/v2``, with a
+  backward-compatible v1 reader);
+* :mod:`repro.obs.telemetry` — per-episode RL internals (entropy,
+  attention-logit stats, gradient norms, selection trajectories) nested
+  into ``episode`` records;
+* :mod:`repro.obs.history` — the run-history store indexing past
+  ``BENCH_*.json`` / trace files and computing median+MAD baselines;
+* :mod:`repro.obs.report` — the ``python -m repro report`` dashboard;
+* :mod:`repro.obs.profiling` — ``--profile`` (cProfile + tracemalloc
+  into ``profile`` records);
 * :mod:`repro.obs.logging` — the stdlib ``repro.*`` logger hierarchy
   (:func:`setup_logging`);
 * :mod:`repro.obs.bench` — the ``python -m repro bench`` smoke workload
-  whose ``BENCH_<sha>.json`` output CI publishes and diffs.
+  whose ``BENCH_<sha>.json`` output CI publishes and gates on.
 
 Typical instrumentation::
 
@@ -45,12 +54,16 @@ from repro.obs.core import (
 from repro.obs.logging import get_logger, setup_logging, verbosity_to_level
 from repro.obs.records import (
     SCHEMA,
+    SCHEMA_V1,
+    SUPPORTED_SCHEMAS,
     emit,
+    env_trace_path,
     git_sha,
     read_records,
     set_trace_path,
     trace_path,
     tracing,
+    upgrade_record,
 )
 
 __all__ = [
@@ -60,11 +73,14 @@ __all__ = [
     "Span",
     "Stopwatch",
     "SCHEMA",
+    "SCHEMA_V1",
+    "SUPPORTED_SCHEMAS",
     "child_reset",
     "disable",
     "emit",
     "enable",
     "enabled",
+    "env_trace_path",
     "export_state",
     "gauge",
     "get_logger",
@@ -80,6 +96,7 @@ __all__ = [
     "span",
     "trace_path",
     "tracing",
+    "upgrade_record",
     "verbosity_to_level",
     "verify_enabled",
 ]

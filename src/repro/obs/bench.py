@@ -20,11 +20,12 @@ fails) beyond the tolerance, because shared runners are noisy.
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import platform
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -55,18 +56,34 @@ class BenchConfig:
             raise ValueError("cells must be >= 50 for a meaningful workload")
 
 
-def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
-    """Run the smoke workload and return the BENCH payload (see module doc).
+@dataclass
+class Workload:
+    """A built smoke workload: the design and agent pieces, ready to run.
 
-    Enables the recorder for the duration (restoring the previous flag) and
-    starts from a clean slate so two calls in one process agree.
+    Shared between ``python -m repro bench`` and ``python -m repro train``
+    so both exercise the same seeded design end to end.
     """
-    # Deferred imports: the bench depends on the whole stack, the obs layer
-    # must not.
+
+    netlist: Any
+    env: Any
+    policy: Any
+    flow_config: Any
+    snapshot: Any
+    clock_period: float
+    name: str
+
+
+def build_workload(
+    seed: int = 0, cells: int = 320, violating_fraction: float = 0.4
+) -> Workload:
+    """Generate, place and constrain the fixed smoke design (deterministic;
+    independent of ``REPRO_BENCH_SCALE``) and wrap it in the selection env
+    plus a fresh policy."""
+    # Deferred imports: the workload depends on the whole stack, the obs
+    # layer must not.
     from repro.agent.env import EndpointSelectionEnv
     from repro.agent.policy import RLCCDPolicy
-    from repro.agent.reinforce import TrainConfig, train_rlccd
-    from repro.ccd.flow import FlowConfig, restore_netlist_state, run_flow, snapshot_netlist_state
+    from repro.ccd.flow import FlowConfig, snapshot_netlist_state
     from repro.features.table1 import NUM_FEATURES
     from repro.netlist.generator import GeneratorConfig, generate_design
     from repro.placement.global_place import PlacementConfig, place_design
@@ -74,42 +91,67 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
     from repro.timing.metrics import choose_clock_period
     from repro.timing.sta import TimingAnalyzer
 
+    gen = GeneratorConfig(
+        name="bench_smoke",
+        library="tech7",
+        n_cells=cells,
+        n_inputs=max(8, cells // 40),
+        n_outputs=max(6, cells // 60),
+        seed=seed,
+    )
+    netlist = generate_design(gen)
+    place_design(netlist, PlacementConfig(seed=seed))
+    analyzer = TimingAnalyzer(netlist)
+    nominal = netlist.library.default_clock_period
+    report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))
+    period = choose_clock_period(report, nominal, violating_fraction)
+
+    flow_config = FlowConfig(clock_period=period)
+    snapshot = snapshot_netlist_state(netlist, verify_clock_period=period)
+    env = EndpointSelectionEnv(netlist, period)
+    policy = RLCCDPolicy(NUM_FEATURES, rng=seed)
+    return Workload(
+        netlist=netlist,
+        env=env,
+        policy=policy,
+        flow_config=flow_config,
+        snapshot=snapshot,
+        clock_period=period,
+        name=gen.name,
+    )
+
+
+def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
+    """Run the smoke workload and return the BENCH payload (see module doc).
+
+    Enables the recorder for the duration (restoring the previous flag) and
+    starts from a clean slate so two calls in one process agree.
+    """
+    from repro.agent.reinforce import TrainConfig, train_rlccd
+    from repro.ccd.flow import restore_netlist_state, run_flow
+
     was_enabled = obs.enabled()
     obs.reset()
     obs.enable()
     watch = obs.Stopwatch()
     try:
-        # ---- fixed workload (independent of REPRO_BENCH_SCALE) -------- #
-        gen = GeneratorConfig(
-            name="bench_smoke",
-            library="tech7",
-            n_cells=config.cells,
-            n_inputs=max(8, config.cells // 40),
-            n_outputs=max(6, config.cells // 60),
+        workload = build_workload(
             seed=config.seed,
+            cells=config.cells,
+            violating_fraction=config.violating_fraction,
         )
-        netlist = generate_design(gen)
-        place_design(netlist, PlacementConfig(seed=config.seed))
-        analyzer = TimingAnalyzer(netlist)
-        nominal = netlist.library.default_clock_period
-        report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))
-        period = choose_clock_period(report, nominal, config.violating_fraction)
+        netlist = workload.netlist
 
-        flow_config = FlowConfig(clock_period=period)
-        snapshot = snapshot_netlist_state(netlist, verify_clock_period=period)
+        default_result = run_flow(netlist, workload.flow_config)
+        restore_netlist_state(netlist, workload.snapshot)
 
-        default_result = run_flow(netlist, flow_config)
-        restore_netlist_state(netlist, snapshot)
-
-        env = EndpointSelectionEnv(netlist, period)
-        policy = RLCCDPolicy(NUM_FEATURES, rng=config.seed)
         training = train_rlccd(
-            policy,
-            env,
-            flow_config,
+            workload.policy,
+            workload.env,
+            workload.flow_config,
             TrainConfig(max_episodes=config.episodes, seed=config.seed),
         )
-        restore_netlist_state(netlist, snapshot)
+        restore_netlist_state(netlist, workload.snapshot)
 
         state = obs.get_recorder().export_state()
         total = watch.elapsed
@@ -120,13 +162,14 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
     payload: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "git_sha": records.git_sha(),
+        "created_at": _utc_now_iso(),
         "seed": config.seed,
         "episodes": config.episodes,
         "design": {
-            "name": gen.name,
+            "name": workload.name,
             "cells": netlist.num_cells,
-            "endpoints": len(env.endpoints),
-            "clock_period": period,
+            "endpoints": len(workload.env.endpoints),
+            "clock_period": workload.clock_period,
         },
         "metrics": {
             "begin_wns": default_result.begin.wns,
@@ -149,17 +192,33 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
     return payload
 
 
+def _utc_now_iso() -> str:
+    """Current UTC wall time, second resolution, ISO-8601 with ``Z``."""
+    return (
+        datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+        .replace("+00:00", "Z")
+    )
+
+
 def aggregate_phases(phases: Dict[str, Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
-    """Recorder phase stats → count/total/median/p90/max summary table."""
+    """Recorder phase stats → count/total/median/mad/p90/max summary table.
+
+    ``mad_s`` is the within-run median absolute deviation of the phase's
+    durations — the history store's noise estimate for thin histories.
+    """
     out: Dict[str, Dict[str, float]] = {}
     for name in sorted(phases):
         durations = np.asarray(phases[name]["durations"], dtype=np.float64)
         if durations.size == 0:
             continue
+        med = float(np.median(durations))
         out[name] = {
             "count": int(durations.size),
             "total_s": float(durations.sum()),
-            "median_s": float(np.median(durations)),
+            "median_s": med,
+            "mad_s": float(np.median(np.abs(durations - med))),
             "p90_s": float(np.quantile(durations, 0.9)),
             "max_s": float(durations.max()),
         }
@@ -229,10 +288,34 @@ def strip_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
     out = {
         k: v
         for k, v in payload.items()
-        if k not in ("phases", "total_seconds", "host", "git_sha")
+        if k not in ("phases", "total_seconds", "host", "git_sha", "created_at", "provenance")
     }
     out["phases"] = {
         name: {"count": stats["count"]}
         for name, stats in payload.get("phases", {}).items()
     }
     return out
+
+
+def update_baseline(payload: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Write ``payload`` over the committed baseline at ``path``.
+
+    Replaces the hand-edit workflow: the refreshed file carries a
+    ``provenance`` field recording when it was regenerated and which run it
+    superseded, so ``git log`` plus the file itself explain every baseline
+    shift.  Returns the payload actually written.
+    """
+    previous: Optional[Dict[str, Any]] = None
+    try:
+        previous = load_bench(path)
+    except (OSError, ValueError):
+        previous = None  # first baseline, or a corrupt one being replaced
+    refreshed = dict(payload)
+    refreshed["provenance"] = {
+        "refreshed_at": refreshed.get("created_at", _utc_now_iso()),
+        "refreshed_by": "python -m repro bench --update-baseline",
+        "previous_git_sha": previous.get("git_sha") if previous else None,
+        "previous_created_at": previous.get("created_at") if previous else None,
+    }
+    save_bench(refreshed, path)
+    return refreshed

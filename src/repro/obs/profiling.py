@@ -1,0 +1,135 @@
+"""``--profile``: cProfile + tracemalloc wired into the run trace.
+
+Wrapping a CLI command in :class:`Profiler` captures, for the whole
+command, the top-N functions by cumulative CPU time (cProfile), the top-N
+allocation sites by retained size (tracemalloc) and the top-N recorder
+phases by total wall time, and appends one ``kind: "profile"`` run record
+to the active trace sink — so a slow run's trace carries its own autopsy
+and ``repro report`` can render it next to the training curves.
+
+Wall-clock and byte counts are inherently nondeterministic; every such
+field is named ``*_seconds`` / ``*_kb`` so the determinism tooling's
+timing-strip convention applies to profile records too.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import tracemalloc
+from typing import Any, Dict, List, Optional
+
+from repro.obs import core, records
+
+#: Entries kept per section (functions / allocation sites / phases).
+DEFAULT_TOP_N = 15
+
+
+def _short_path(path: str) -> str:
+    """Trim a source path to its last two components for readable records."""
+    parts = path.replace(os.sep, "/").split("/")
+    return "/".join(parts[-2:]) if len(parts) > 1 else path
+
+
+def top_functions(stats: pstats.Stats, top_n: int) -> List[Dict[str, Any]]:
+    """cProfile entries → top-``top_n`` by cumulative time."""
+    rows = []
+    for (filename, lineno, funcname), (cc, ncalls, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        rows.append(
+            {
+                "function": f"{_short_path(filename)}:{lineno}({funcname})",
+                "calls": int(ncalls),
+                "total_seconds": float(tottime),
+                "cumulative_seconds": float(cumtime),
+            }
+        )
+    rows.sort(key=lambda r: (-r["cumulative_seconds"], r["function"]))
+    return rows[:top_n]
+
+
+def top_allocations(
+    snapshot: tracemalloc.Snapshot, top_n: int
+) -> List[Dict[str, Any]]:
+    """tracemalloc snapshot → top-``top_n`` sites by retained size."""
+    rows = []
+    for stat in snapshot.statistics("lineno")[:top_n]:
+        frame = stat.traceback[0]
+        rows.append(
+            {
+                "site": f"{_short_path(frame.filename)}:{frame.lineno}",
+                "size_kb": float(stat.size) / 1024.0,
+                "count": int(stat.count),
+            }
+        )
+    return rows
+
+
+def top_phases(top_n: int) -> List[Dict[str, Any]]:
+    """Recorder phases → top-``top_n`` by total recorded wall time."""
+    if not core.enabled():
+        return []
+    state = core.get_recorder().export_state()
+    rows = [
+        {
+            "phase": name,
+            "count": int(stats["count"]),
+            "total_seconds": float(stats["total"]),
+        }
+        for name, stats in state["phases"].items()
+    ]
+    rows.sort(key=lambda r: (-r["total_seconds"], r["phase"]))
+    return rows[:top_n]
+
+
+class Profiler:
+    """Context manager emitting one ``profile`` record on exit.
+
+    Requires an active trace sink (there is nowhere else to put the
+    result); the CLI validates that before entering.  Profiling overhead
+    is real (cProfile instruments every call), which is exactly why it is
+    opt-in per run instead of part of the always-on recorder.
+    """
+
+    def __init__(self, command: str = "", top_n: int = DEFAULT_TOP_N) -> None:
+        if top_n < 1:
+            raise ValueError("top_n must be >= 1")
+        self.command = command
+        self.top_n = top_n
+        self._profile: Optional[cProfile.Profile] = None
+        self._started_tracemalloc = False
+
+    def __enter__(self) -> "Profiler":
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._profile = cProfile.Profile()
+        self._profile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._profile is not None
+        self._profile.disable()
+        current, peak = tracemalloc.get_traced_memory()
+        snapshot = tracemalloc.take_snapshot()
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+        # Emit even when the command raised: a crashing run's profile is
+        # the one you want most.
+        records.emit(
+            "profile",
+            {
+                "command": self.command,
+                "top_n": self.top_n,
+                "top_functions": top_functions(
+                    pstats.Stats(self._profile), self.top_n
+                ),
+                "top_allocations": top_allocations(snapshot, self.top_n),
+                "top_phases": top_phases(self.top_n),
+                "memory_current_kb": float(current) / 1024.0,
+                "memory_peak_kb": float(peak) / 1024.0,
+            },
+        )
+        return False

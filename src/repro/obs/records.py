@@ -4,14 +4,23 @@ One line per flow run / training iteration, written to the path given by
 ``REPRO_OBS=<path>`` or the ``--trace <path>`` CLI flag.  Every record is a
 single JSON object with a fixed envelope::
 
-    {"schema": "repro-obs/v1", "kind": "flow" | "episode" | ...,
+    {"schema": "repro-obs/v2", "kind": "flow" | "episode" | ...,
      "git_sha": "<short sha or 'unknown'>", ...payload}
 
 Records are append-only and flushed per line, so a crashed run keeps every
 record emitted before the crash and concurrent readers (``tail -f``, CI log
 scrapers) always see whole lines.  Timing fields live under ``phases`` /
 ``*_seconds`` keys; everything else is deterministic for a fixed seed, which
-is what the determinism test in ``tests/test_obs.py`` pins down.
+is what the determinism test in ``tests/test_telemetry.py`` pins down.
+
+Schema history:
+
+* ``repro-obs/v1`` — PR 1's envelope; ``episode`` records carry only the
+  reward-level fields (tns/wns/nve/num_selected/advantage).
+* ``repro-obs/v2`` — adds the nested ``telemetry`` object to ``episode``
+  records (:mod:`repro.obs.telemetry`) and the ``profile`` record kind
+  (:mod:`repro.obs.profiling`).  v1 files remain readable:
+  :func:`read_records` upgrades them in memory via :func:`upgrade_record`.
 """
 
 from __future__ import annotations
@@ -24,20 +33,37 @@ from typing import Any, Dict, Optional
 
 from repro.obs import core
 
-SCHEMA = "repro-obs/v1"
+SCHEMA_V1 = "repro-obs/v1"
+SCHEMA = "repro-obs/v2"
+
+#: Schemas :func:`read_records` accepts (oldest first).
+SUPPORTED_SCHEMAS = (SCHEMA_V1, SCHEMA)
 
 _lock = threading.Lock()
 _trace_path: Optional[str] = None
 _git_sha: Optional[str] = None
 
 
+def env_trace_path() -> Optional[str]:
+    """The trace-sink path requested via ``REPRO_OBS``, if any.
+
+    Truthy flag values (``1``/``true``/...) enable the recorder without a
+    sink and return ``None`` here; any other non-empty value is a path.
+    The CLI uses this to detect (and log) a ``--trace``-vs-environment
+    disagreement — the CLI flag wins.
+    """
+    value = os.environ.get(core.ENV_VAR, "").strip()
+    if not value or value.lower() in core._TRUTHY:
+        return None
+    return value
+
+
 def _init_from_env() -> None:
     """Honour ``REPRO_OBS=<path>`` at import time (truthy flags enable the
     recorder only; anything else is treated as a trace-sink path)."""
-    value = os.environ.get(core.ENV_VAR, "").strip()
-    if not value or value.lower() in core._TRUTHY:
-        return
-    set_trace_path(value)
+    value = env_trace_path()
+    if value is not None:
+        set_trace_path(value)
 
 
 def set_trace_path(path: Optional[str]) -> None:
@@ -115,20 +141,49 @@ def _jsonify(value: Any) -> Any:
     return str(value)
 
 
-def read_records(path: str) -> list:
-    """Parse a JSONL trace back into a list of dicts (schema-checked)."""
+def upgrade_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Lift one record to the current schema (returns v2 records as-is).
+
+    v1 → v2 is purely additive: ``episode`` records gain an explicit
+    ``telemetry: null`` so v2 consumers can distinguish "telemetry was off /
+    predates telemetry" from "telemetry collected nothing".  Unknown
+    schemas raise — silently passing them through would defeat the check.
+    """
+    schema = record.get("schema")
+    if schema == SCHEMA:
+        return record
+    if schema != SCHEMA_V1:
+        raise ValueError(
+            f"record schema {schema!r} is not one of {SUPPORTED_SCHEMAS}"
+        )
+    upgraded = dict(record)
+    upgraded["schema"] = SCHEMA
+    if upgraded.get("kind") == "episode":
+        upgraded.setdefault("telemetry", None)
+    return upgraded
+
+
+def read_records(path: str, upgrade: bool = True) -> list:
+    """Parse a JSONL trace back into a list of dicts (schema-checked).
+
+    Accepts every schema in :data:`SUPPORTED_SCHEMAS`; with ``upgrade=True``
+    (the default) older records come back lifted to the current schema, so
+    downstream consumers (``repro report``, the history store) only ever
+    see the v2 shape.
+    """
     records = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             record = json.loads(line)
-            if record.get("schema") != SCHEMA:
+            if record.get("schema") not in SUPPORTED_SCHEMAS:
                 raise ValueError(
-                    f"record schema {record.get('schema')!r} != {SCHEMA!r} in {path}"
+                    f"record schema {record.get('schema')!r} not in "
+                    f"{SUPPORTED_SCHEMAS} at {path}:{number}"
                 )
-            records.append(record)
+            records.append(upgrade_record(record) if upgrade else record)
     return records
 
 

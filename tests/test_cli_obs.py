@@ -1,0 +1,187 @@
+"""CLI-level tests for the observability satellites: bench baseline
+handling, the enforced gate, trace-sink precedence, train/report wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.bench import load_bench
+
+FAST_BENCH = ["--episodes", "2", "--cells", "240"]
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(monkeypatch):
+    monkeypatch.delenv(obs.ENV_VAR, raising=False)
+    was_enabled = obs.enabled()
+    prev_trace = obs.trace_path()
+    obs.reset()
+    yield
+    obs.set_trace_path(prev_trace)
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+    obs.reset()
+
+
+class TestBenchBaselineErrors:
+    def test_missing_baseline_is_one_line_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        rc = main(["bench", "--compare", missing, *FAST_BENCH])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: cannot load bench baseline")
+        assert captured.err.count("\n") == 1
+        # Fails fast: the workload never ran.
+        assert "phase timings" not in captured.out
+
+    def test_corrupt_baseline_is_one_line_error(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{truncated")
+        rc = main(["bench", "--compare", str(corrupt), *FAST_BENCH])
+        assert rc == 2
+        assert "error: cannot load bench baseline" in capsys.readouterr().err
+
+    def test_foreign_schema_baseline_rejected(self, tmp_path, capsys):
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"schema": "not-a-bench"}))
+        rc = main(["bench", "--compare", str(foreign), *FAST_BENCH])
+        assert rc == 2
+        assert "error: cannot load bench baseline" in capsys.readouterr().err
+
+
+class TestUpdateBaseline:
+    def test_first_refresh_and_provenance_chain(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_baseline.json")
+        rc = main(["bench", "--update-baseline", "--out", out, *FAST_BENCH])
+        assert rc == 0
+        first = load_bench(out)
+        prov = first["provenance"]
+        assert prov["refreshed_by"] == "python -m repro bench --update-baseline"
+        assert prov["refreshed_at"] == first["created_at"]
+        assert prov["previous_git_sha"] is None  # nothing superseded yet
+        capsys.readouterr()
+
+        rc = main(["bench", "--update-baseline", "--out", out, *FAST_BENCH])
+        assert rc == 0
+        second = load_bench(out)
+        assert second["provenance"]["previous_git_sha"] == first["git_sha"]
+        assert second["provenance"]["previous_created_at"] == first["created_at"]
+
+
+class TestEnforcedGate:
+    def test_enforce_needs_a_history_source(self, capsys):
+        rc = main(["bench", "--enforce", *FAST_BENCH])
+        assert rc == 2
+        assert "--enforce needs" in capsys.readouterr().err
+
+    def test_enforce_passes_against_own_baseline(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_a.json")
+        assert main(["bench", "--out", out, *FAST_BENCH]) == 0
+        capsys.readouterr()
+        rc = main(
+            ["bench", "--out", str(tmp_path / "BENCH_b.json"),
+             "--compare", out, "--enforce", *FAST_BENCH]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "enforced bench gate passed" in captured.err
+        assert "::error" not in captured.err
+
+    def test_enforce_fails_on_injected_slowdown(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_a.json")
+        assert main(["bench", "--out", out, *FAST_BENCH]) == 0
+        capsys.readouterr()
+        # Acceptance scenario: make the baseline claim every phase used to
+        # run 5x faster, so the (honest) candidate looks 5x regressed.
+        payload = load_bench(out)
+        for stats in payload["phases"].values():
+            stats["median_s"] = stats["median_s"] / 5.0
+        doctored = str(tmp_path / "BENCH_fast.json")
+        with open(doctored, "w") as handle:
+            json.dump(payload, handle)
+        rc = main(
+            ["bench", "--out", str(tmp_path / "BENCH_b.json"),
+             "--compare", doctored, "--enforce", *FAST_BENCH]
+        )
+        assert rc == 1
+        assert "::error ::bench regression:" in capsys.readouterr().err
+
+    def test_enforce_with_history_directory(self, tmp_path, capsys):
+        history_dir = tmp_path / "history"
+        history_dir.mkdir()
+        for i in range(3):
+            out = str(history_dir / f"BENCH_{i}.json")
+            assert main(["bench", "--out", out, *FAST_BENCH]) == 0
+        capsys.readouterr()
+        rc = main(
+            ["bench", "--out", str(tmp_path / "BENCH_new.json"),
+             "--history", str(history_dir), "--enforce", *FAST_BENCH]
+        )
+        assert rc == 0
+        assert "against 3 historical runs" in capsys.readouterr().err
+
+
+class TestTracePrecedence:
+    def test_cli_trace_wins_over_env(self, tmp_path, monkeypatch, capsys):
+        env_path = str(tmp_path / "env.jsonl")
+        cli_path = str(tmp_path / "cli.jsonl")
+        monkeypatch.setenv(obs.ENV_VAR, env_path)
+        rc = main(["--trace", cli_path, "blocks"])
+        assert rc == 0
+        assert obs.trace_path() == cli_path
+        captured = capsys.readouterr()
+        assert "overrides" in captured.err
+        assert "CLI flag wins" in captured.err
+
+    def test_no_warning_when_flag_matches_env(self, tmp_path, monkeypatch, capsys):
+        path = str(tmp_path / "same.jsonl")
+        monkeypatch.setenv(obs.ENV_VAR, path)
+        assert main(["--trace", path, "blocks"]) == 0
+        assert "overrides" not in capsys.readouterr().err
+
+    def test_env_alone_still_respected(self, tmp_path, monkeypatch):
+        env_path = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv(obs.ENV_VAR, env_path)
+        obs.set_trace_path(env_path)  # what _init_from_env does at import
+        assert main(["blocks"]) == 0
+        assert obs.trace_path() == env_path
+
+
+class TestTrainAndProfile:
+    def test_train_emits_trace_and_summary(self, tmp_path, capsys):
+        trace = str(tmp_path / "train.jsonl")
+        rc = main(
+            ["--trace", trace, "train", "--episodes", "2", "--cells", "240",
+             "--seed", "0"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "best TNS" in captured.out
+        assert "episode 0:" in captured.err
+        kinds = [r["kind"] for r in obs.read_records(trace)]
+        assert "episode" in kinds and "train" in kinds
+
+    def test_profile_without_sink_is_an_error(self, capsys):
+        rc = main(["--profile", "blocks"])
+        assert rc == 2
+        assert "--profile needs a trace sink" in capsys.readouterr().err
+
+    def test_profile_emits_profile_record(self, tmp_path, capsys):
+        trace = str(tmp_path / "profiled.jsonl")
+        rc = main(
+            ["--trace", trace, "--profile", "train", "--episodes", "1",
+             "--cells", "240"]
+        )
+        assert rc == 0
+        (profile,) = [
+            r for r in obs.read_records(trace) if r["kind"] == "profile"
+        ]
+        assert profile["command"] == "train"
+        assert profile["top_functions"]
+        assert profile["memory_peak_kb"] > 0.0
