@@ -157,6 +157,14 @@ def format_bench(payload: Mapping) -> str:
         f"RL best TNS {metrics.get('rlccd_best_tns', float('nan')):.3f} "
         f"over {metrics.get('episodes_run', '?')} episodes",
     ]
+    sta = payload.get("sta") or {}
+    sta_speedup = sta.get("sta_speedup")
+    datapath_speedup = sta.get("datapath_speedup")
+    if sta_speedup is not None and datapath_speedup is not None:
+        lines.append(
+            f"  incremental STA vs full engine: {sta_speedup:.2f}x on sta.* "
+            f"phases, {datapath_speedup:.2f}x on the datapath phase"
+        )
     lines.append(format_phase_table(payload.get("phases", {})))
     return "\n".join(lines)
 

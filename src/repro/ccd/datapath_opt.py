@@ -182,6 +182,12 @@ def _fix_endpoint(
             best_fanout = fanout
             best_net = net_index
 
+    # Probe moves are the incremental-STA fast path: notify_resize marks the
+    # handful of re-coefficiented cells dirty and the next analyze()
+    # re-propagates only their cones — including the immediate roll-back
+    # resize below, which dirties the same cells right back.  Structural
+    # buffer splits instead invalidate() for a full recompute (fallback
+    # rules in docs/timing.md).
     if best_cell is not None:
         previous = netlist.resize_cell(best_cell, netlist.cells[best_cell].size_index + 1)
         analyzer.notify_resize(best_cell)

@@ -30,7 +30,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro import obs
 from repro.ccd.datapath_opt import DatapathConfig, DatapathResult, optimize_datapath
-from repro.ccd.margins import margins_by_amount, margins_to_wns
+from repro.ccd.margins import margins_by_amount, margins_to_wns, remove_margins
 from repro.ccd.useful_skew import UsefulSkewConfig, UsefulSkewResult, optimize_useful_skew
 from repro.netlist.core import Netlist
 from repro.power.models import PowerReport, report_power
@@ -51,6 +51,10 @@ class FlowConfig:
     # worsen to design WNS → over-fix) or a float (uniform margin; negative
     # reproduces the rejected "under-fix" variant for the A1 ablation).
     margin_mode: object = "wns"
+    # Incremental STA: None follows the REPRO_STA_INCREMENTAL global
+    # (default on); True/False forces it per run — the lever the
+    # incremental-vs-full equivalence tests and bench comparison use.
+    incremental_sta: Optional[bool] = None
 
 
 @dataclass
@@ -95,7 +99,7 @@ def run_flow(
     watch = obs.Stopwatch()
     prioritized = [int(e) for e in prioritized_endpoints]
     with obs.span("flow.run"):
-        analyzer = TimingAnalyzer(netlist)
+        analyzer = TimingAnalyzer(netlist, incremental=config.incremental_sta)
         clock = ClockModel.for_netlist(netlist, config.clock_period)
 
         with obs.span("flow.begin_sta") as sp_begin:
@@ -110,13 +114,17 @@ def run_flow(
                 margins = margins_to_wns(begin_report, prioritized)
             else:
                 margins = margins_by_amount(prioritized, float(config.margin_mode))
+            # Margins are a view: analyze() diffs them itself, nothing to
+            # dirty (see TimingAnalyzer.notify_margins).
+            analyzer.notify_margins()
 
         # --- clock-path optimization: useful skew --------------------- #
         with obs.span("flow.skew") as sp_skew:
             skew_result = optimize_useful_skew(analyzer, clock, margins, config.skew)
 
         # --- margins removed (Algorithm 1 line 16) -------------------- #
-        margins = {}
+        margins = remove_margins(margins)
+        analyzer.notify_margins()
 
         # --- remaining placement optimization: data-path fixing ------- #
         with obs.span("flow.datapath") as sp_datapath:
@@ -251,6 +259,10 @@ def restore_netlist_state(netlist: Netlist, state: NetlistState) -> None:
     for net, sinks in zip(netlist.nets, state.net_sinks):
         net.sinks = list(sinks)
     netlist.parasitic_scale = state.parasitic_scale
+    # A restore is itself a (bulk) mutation: bump the version so any
+    # TimingAnalyzer that lived through the episode recompiles instead of
+    # trusting caches patched by mid-episode notify_resize() calls.
+    netlist.mutation_version += 1
 
     if state.verify_summary is not None and obs.verify_enabled():
         assert state.verify_clock_period is not None

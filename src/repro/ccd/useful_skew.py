@@ -174,6 +174,7 @@ def _optimize_useful_skew(
             if delta <= eps:
                 continue
             clock.adjust_arrival(flop, delta)
+            analyzer.notify_skew((flop,))
             committed.add(flop)
             result.commits += 1
             progressed = True
@@ -210,6 +211,7 @@ def _optimize_useful_skew(
                 if delta <= eps:
                     continue
                 clock.adjust_arrival(flop, -delta)
+                analyzer.notify_skew((flop,))
                 committed.add(flop)
                 result.recovery_commits += 1
                 progressed = True

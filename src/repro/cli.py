@@ -22,7 +22,9 @@ Global observability flags (before the subcommand):
   as ``REPRO_OBS=PATH``; when both are set the CLI flag wins and the
   override is logged);
 * ``--profile`` — additionally wrap the command in cProfile + tracemalloc
-  and append one ``profile`` record to the trace (requires a trace sink).
+  and append one ``profile`` record to the trace (requires a trace sink);
+* ``--no-incremental-sta`` — force full STA recomputes everywhere (same as
+  ``REPRO_STA_INCREMENTAL=0``; see ``docs/timing.md``).
 """
 
 from __future__ import annotations
@@ -56,6 +58,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="profile the command (cProfile + tracemalloc) and append a "
         "'profile' record to the trace; requires --trace or REPRO_OBS=<path>",
+    )
+    parser.add_argument(
+        "--no-incremental-sta",
+        action="store_true",
+        help="force every timing analysis down the full-recompute path "
+        "(same effect as REPRO_STA_INCREMENTAL=0; for A/B timing runs "
+        "and debugging suspected incremental-STA drift)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -191,6 +200,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         obs.set_trace_path(args.trace)
         log.info("tracing run records to %s", args.trace)
+
+    if args.no_incremental_sta:
+        from repro.timing import incremental
+
+        incremental.set_incremental(False)
+        log.info("incremental STA disabled for this invocation")
 
     if args.profile:
         if not obs.tracing():

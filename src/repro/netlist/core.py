@@ -123,6 +123,13 @@ class Netlist:
         # coefficients.  1.0 = placement-stage estimates; the full-flow
         # extension raises it at later stages to model extracted parasitics.
         self.parasitic_scale: float = 1.0
+        # Monotonic counter bumped by every mutator (add_cell/add_net/
+        # connect/resize_cell/insert_buffer).  TimingAnalyzer compares it
+        # against the version it last compiled/was notified at, so a
+        # mutation that skipped notify_resize()/invalidate() can never be
+        # read stale.  restore_netlist_state() bumps it too — a restore is
+        # a bulk mutation from the analyzer's point of view.
+        self.mutation_version: int = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -135,6 +142,7 @@ class Netlist:
         cell = Cell(index=len(self.cells), name=name, cell_type=cell_type, size_index=size_index)
         self.cells.append(cell)
         self._name_to_cell[name] = cell.index
+        self.mutation_version += 1
         return cell
 
     def add_net(self, name: str, driver: int, sinks: Sequence[Tuple[int, int]] = ()) -> Net:
@@ -147,6 +155,7 @@ class Netlist:
         net = Net(index=len(self.nets), name=name, driver=driver)
         self.nets.append(net)
         driver_cell.fanout_net = net.index
+        self.mutation_version += 1
         for cell_index, pin in sinks:
             self.connect(net.index, cell_index, pin)
         return net
@@ -163,6 +172,7 @@ class Netlist:
             raise ValueError(f"input pin {pin} of {cell.name!r} already connected")
         cell.fanin_nets[pin] = net.index
         net.sinks.append((cell_index, pin))
+        self.mutation_version += 1
 
     # ------------------------------------------------------------------ #
     # queries
@@ -261,6 +271,7 @@ class Netlist:
         cell.cell_type.size(new_size_index)  # bounds check
         previous = cell.size_index
         cell.size_index = new_size_index
+        self.mutation_version += 1
         return previous
 
     def insert_buffer(
@@ -302,6 +313,7 @@ class Netlist:
         # Buffer input joins the original net.
         buf.fanin_nets[0] = net.index
         net.sinks.append((buf.index, 0))
+        self.mutation_version += 1
         return buf
 
     # ------------------------------------------------------------------ #

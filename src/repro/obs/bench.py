@@ -10,6 +10,8 @@ then aggregates the recorder into the ``BENCH_<sha>.json`` schema::
      "metrics": {...deterministic quality numbers...},
      "counters": {...deterministic event counts...},
      "phases": {"<name>": {"count", "total_s", "median_s", "p90_s", "max_s"}},
+     "sta": {"full": {...}, "incremental": {...}, "sta_speedup": ...,
+             "datapath_speedup": ...},
      "total_seconds": <wall>}
 
 ``metrics``/``counters``/``design`` are deterministic for a fixed seed;
@@ -153,6 +155,8 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         )
         restore_netlist_state(netlist, workload.snapshot)
 
+        sta_compare = _compare_sta_engines(workload)
+
         state = obs.get_recorder().export_state()
         total = watch.elapsed
     finally:
@@ -183,6 +187,7 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         },
         "counters": {k: v for k, v in sorted(state["counters"].items())},
         "phases": aggregate_phases(state["phases"]),
+        "sta": sta_compare,
         "total_seconds": total,
         "host": {
             "python": platform.python_version(),
@@ -190,6 +195,53 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         },
     }
     return payload
+
+
+def _compare_sta_engines(workload: Workload) -> Dict[str, Any]:
+    """Time the same default flow with incremental STA forced off, then on.
+
+    Returns the ``"sta"`` section of the BENCH payload: per-engine wall
+    time of the ``sta.*`` recorder phases accumulated across the whole
+    flow and across its data-path phase alone (the analyze()-heaviest
+    stage and the one the incremental engine exists for), plus the
+    resulting speedup ratios.  Wall-clock only — :func:`strip_timing`
+    drops the whole section for the determinism check.
+    """
+    import dataclasses
+
+    from repro.ccd.flow import restore_netlist_state, run_flow
+
+    def sta_seconds() -> float:
+        phases = obs.get_recorder().phases
+        return sum(
+            stats.total for name, stats in phases.items() if name.startswith("sta.")
+        )
+
+    def datapath_seconds() -> float:
+        stats = obs.get_recorder().phases.get("flow.datapath")
+        return stats.total if stats is not None else 0.0
+
+    out: Dict[str, Any] = {}
+    for key, mode in (("full", False), ("incremental", True)):
+        flow_config = dataclasses.replace(
+            workload.flow_config, incremental_sta=mode
+        )
+        sta_before = sta_seconds()
+        datapath_before = datapath_seconds()
+        watch = obs.Stopwatch()
+        run_flow(workload.netlist, flow_config)
+        out[key] = {
+            "flow_seconds": watch.elapsed,
+            "sta_seconds": sta_seconds() - sta_before,
+            "datapath_seconds": datapath_seconds() - datapath_before,
+        }
+        restore_netlist_state(workload.netlist, workload.snapshot)
+    for field in ("sta_seconds", "datapath_seconds"):
+        denominator = out["incremental"][field]
+        out[f"{field[:-8]}_speedup"] = (
+            out["full"][field] / denominator if denominator > 0 else None
+        )
+    return out
 
 
 def _utc_now_iso() -> str:
@@ -288,7 +340,16 @@ def strip_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
     out = {
         k: v
         for k, v in payload.items()
-        if k not in ("phases", "total_seconds", "host", "git_sha", "created_at", "provenance")
+        if k
+        not in (
+            "phases",
+            "sta",
+            "total_seconds",
+            "host",
+            "git_sha",
+            "created_at",
+            "provenance",
+        )
     }
     out["phases"] = {
         name: {"count": stats["count"]}

@@ -10,6 +10,14 @@ from repro.timing.metrics import (
     violating_endpoints,
     wns,
 )
+from repro.timing.incremental import (
+    IncrementalState,
+    check_enabled,
+    incremental_analyze,
+    incremental_enabled,
+    set_check,
+    set_incremental,
+)
 from repro.timing.paths import TimingPath, trace_critical_path
 from repro.timing.sta import (
     CompiledTiming,
@@ -24,8 +32,14 @@ __all__ = [
     "TimingAnalyzer",
     "TimingReport",
     "CompiledTiming",
+    "IncrementalState",
     "analyze",
     "compile_timing",
+    "check_enabled",
+    "incremental_analyze",
+    "incremental_enabled",
+    "set_check",
+    "set_incremental",
     "TimingSummary",
     "summarize",
     "tns",

@@ -1,0 +1,658 @@
+"""Incremental STA: dirty-set–driven re-propagation inside ``analyze()``.
+
+The full engine in :mod:`repro.timing.sta` recomputes every level on every
+call even when a single cell was resized or a single flop's clock arrival
+moved — and the CCD inner loops (:mod:`repro.ccd.datapath_opt` probes,
+:mod:`repro.ccd.useful_skew` commit batches) call ``analyze()`` thousands of
+times per flow run.  This module keeps the *last* analysis alive as an
+:class:`IncrementalState` and re-propagates only what changed:
+
+* **dirty cells** arrive from :meth:`TimingAnalyzer.notify_resize` (delay
+  coefficients / load caps patched), :meth:`TimingAnalyzer.notify_skew`
+  (clock arrivals moved) and — as a safety net — from diffing the clock
+  model's per-flop arrivals against the cached vector, so an un-notified
+  skew edit can never be read stale;
+* the **forward pass** seeds a frontier from the dirty cells and walks the
+  topological levels in order, recomputing only frontier cells and pruning
+  any cell whose ``(arrival, slew)`` pair is unchanged within
+  :data:`PRUNE_TOL`;
+* the **backward pass** is symmetric: endpoints whose required time or
+  margin changed, cells whose slew changed and the fan-in of re-coefficiented
+  cells seed a reverse frontier that walks the levels backwards with the
+  same pruning rule;
+* **margins stay a view**: they only reseed the margin-aware backward pass
+  (``required_eff``); arrivals, slews and true required times are never
+  dirtied by applying or removing margins (that is why
+  :meth:`TimingAnalyzer.notify_margins` is a documented no-op).
+
+Every recomputation mirrors the full pass' arithmetic *expression by
+expression*, so a recomputed value from unchanged inputs is bitwise equal
+and prunes exactly; differences against a from-scratch run can only come
+from pruned sub-:data:`PRUNE_TOL` residues.  The hot path runs on
+Python-native scalars and adjacency lists rather than numpy: the typical
+frontier is a handful of cells per level, far below the array size where
+vectorization pays for its per-call overhead (the *full* engine owns the
+opposite regime).  IEEE-754 double arithmetic is identical either way, so
+the mirror stays bitwise.
+
+Fallback rules (handled by :class:`~repro.timing.sta.TimingAnalyzer`):
+structural edits (``invalidate()`` or an unnotified netlist mutation caught
+by the mutation-version guard), a clock-period change, the first analysis of
+a corner, and ``include_hold=True`` all run the full engine and refresh the
+cached state.
+
+Shadow-check mode (``REPRO_STA_CHECK=1``) re-runs the full engine after
+every incremental analysis and asserts the two reports agree within
+:data:`CHECK_ATOL` — the differential harness CI runs the fuzz suite under.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.timing.clock import ClockModel
+from repro.timing.sta import (
+    _NO_DRIVER,
+    CompiledTiming,
+    TimingReport,
+    _backward_required,
+    analyze,
+)
+
+#: A frontier cell whose recomputed arrival *and* slew both moved by no more
+#: than this is pruned: its cached values are kept and its fanout is not
+#: re-propagated.  The same tolerance prunes the backward pass.
+PRUNE_TOL = 1e-12
+
+#: Shadow-check agreement tolerance (absolute).  Looser than the pruning
+#: tolerance because pruned residues may accumulate along deep paths.
+CHECK_ATOL = 1e-9
+
+#: Default-on switch for the incremental engine; set to a falsy value
+#: (``0``/``false``/``no``/``off``) to force every analysis down the full
+#: path.  Per-analyzer and per-flow overrides beat this global.
+ENV_INCREMENTAL = "REPRO_STA_INCREMENTAL"
+
+#: Truthy value turns on differential shadow checking of every incremental
+#: analysis (expensive: each one also pays a full analysis).
+ENV_CHECK = "REPRO_STA_CHECK"
+
+_TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("0", "false", "no", "off")
+
+_incremental: bool = (
+    os.environ.get(ENV_INCREMENTAL, "").strip().lower() not in _FALSY
+)
+_check: bool = os.environ.get(ENV_CHECK, "").strip().lower() in _TRUTHY
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+def incremental_enabled() -> bool:
+    """Whether the incremental engine is globally enabled (default: yes)."""
+    return _incremental
+
+
+def set_incremental(value: bool) -> bool:
+    """Set the global incremental switch; returns the previous value."""
+    global _incremental
+    previous = _incremental
+    _incremental = bool(value)
+    return previous
+
+
+def check_enabled() -> bool:
+    """Whether shadow-check mode is on (``REPRO_STA_CHECK=1``)."""
+    return _check
+
+
+def set_check(value: bool) -> bool:
+    """Set shadow-check mode; returns the previous value."""
+    global _check
+    previous = _check
+    _check = bool(value)
+    return previous
+
+
+@dataclass
+class IncrementalState:
+    """One corner's cached analysis plus Python-native propagation mirrors.
+
+    Topology and the cached analysis live as plain lists/floats (see the
+    module docstring for why); the delay-coefficient mirrors are refreshed
+    from the compiled arrays for exactly the cells ``notify_resize`` patched
+    — which are, by construction, the cells it put in :attr:`pending`.
+    Reports are assembled as fresh numpy arrays, so a caller-held
+    :class:`TimingReport` never changes retroactively.
+    """
+
+    compiled: CompiledTiming
+    period: float
+    num_levels: int
+    level: List[int]  # topological level per cell
+    fanin: List[List[Tuple[int, float]]]  # (driver, wire_delay) per valid pin
+    fanout: List[List[Tuple[int, float]]]  # (sink, wire_delay at its pin)
+    is_flop: List[bool]
+    is_src: List[bool]  # flop or input port (launch points)
+    is_comb: List[bool]  # propagates required upstream
+    is_outport: List[bool]
+    is_ep: List[bool]  # flop or output port (capture points)
+    ep_pos: List[int]  # endpoint position per cell, -1 elsewhere
+    eps: List[int]  # endpoint cell index per position
+    flop_cells: List[int]
+    clk_to_q: List[float]
+    setup: List[float]
+    # Per-cell delay coefficients (refreshed for pending cells on analyze):
+    intrinsic: List[float]
+    slew_sens: List[float]
+    drive_res: List[float]
+    load_cap: List[float]
+    slew_intr: List[float]
+    slew_load: List[float]
+    # Cached analysis state (the "last report", unpacked):
+    clock_arrival: List[float]
+    arrival: List[float]  # cell output arrival
+    slew: List[float]  # cell output slew
+    ep_arrival: List[float]  # endpoint data arrival
+    ep_required: List[float]  # endpoint required time
+    margin_vec: List[float]  # last applied margins
+    required_true: List[float]  # true backward required
+    #: Margin-aware required view; ``None`` while margins are all zero (the
+    #: full engine aliases the true view then, and so do we).
+    required_eff: Optional[List[float]]
+    #: Cells dirtied by notify_* since the last analysis of this corner.
+    pending: Set[int] = field(default_factory=set)
+
+
+def build_state(
+    compiled: CompiledTiming,
+    clock: ClockModel,
+    margins: Optional[Mapping[int, float]] = None,
+    include_hold: bool = False,
+) -> Tuple[TimingReport, IncrementalState]:
+    """Run the full engine once and capture its state for future increments."""
+    report = analyze(compiled, clock, margins, include_hold=include_hold)
+    n = compiled.fanin_idx.shape[0]
+
+    level = [0] * n
+    for k, level_cells in enumerate(compiled.levels):
+        for c in level_cells.tolist():
+            level[c] = k
+
+    fanin_rows = compiled.fanin_idx.tolist()
+    wire_rows = compiled.fanin_wire_delay.tolist()
+    fanin: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+    fanout: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+    for c in range(n):
+        drivers = fanin_rows[c]
+        wires = wire_rows[c]
+        for p in range(len(drivers)):
+            u = drivers[p]
+            if u == _NO_DRIVER:
+                continue
+            fanin[c].append((u, wires[p]))
+            fanout[u].append((c, wires[p]))
+
+    is_flop = compiled.is_flop.tolist()
+    is_inport = compiled.is_inport.tolist()
+    is_outport = compiled.is_outport.tolist()
+    is_src = [f or i for f, i in zip(is_flop, is_inport)]
+    is_comb = [not (s or o) for s, o in zip(is_src, is_outport)]
+    is_ep = [f or o for f, o in zip(is_flop, is_outport)]
+
+    eps = compiled.endpoint_cells.tolist()
+    ep_pos = [-1] * n
+    for pos, e in enumerate(eps):
+        ep_pos[e] = pos
+    flop_cells = [c for c in range(n) if is_flop[c]]
+
+    clock_arrival = [0.0] * n
+    for f in flop_cells:
+        clock_arrival[f] = clock.arrival(f)
+
+    margin_vec = report.margins.tolist()
+    if report.margins.any():
+        # Recompute the margin-aware backward view with the exact same
+        # function and inputs the full engine used, so the cached values are
+        # bitwise identical to what the report's margined view was built
+        # from (it is not recoverable from the report where it is +inf).
+        required_eff: Optional[List[float]] = _backward_required(
+            compiled, report.cell_slew, report.required - report.margins
+        ).tolist()
+    else:
+        required_eff = None
+
+    state = IncrementalState(
+        compiled=compiled,
+        period=clock.period,
+        num_levels=len(compiled.levels),
+        level=level,
+        fanin=fanin,
+        fanout=fanout,
+        is_flop=is_flop,
+        is_src=is_src,
+        is_comb=is_comb,
+        is_outport=is_outport,
+        is_ep=is_ep,
+        ep_pos=ep_pos,
+        eps=eps,
+        flop_cells=flop_cells,
+        clk_to_q=compiled.clk_to_q.tolist(),
+        setup=compiled.setup.tolist(),
+        intrinsic=compiled.intrinsic.tolist(),
+        slew_sens=compiled.slew_sens.tolist(),
+        drive_res=compiled.drive_res.tolist(),
+        load_cap=compiled.load_cap.tolist(),
+        slew_intr=compiled.slew_intr.tolist(),
+        slew_load=compiled.slew_load.tolist(),
+        clock_arrival=clock_arrival,
+        arrival=report.cell_arrival.tolist(),
+        slew=report.cell_slew.tolist(),
+        ep_arrival=report.arrival.tolist(),
+        ep_required=report.required.tolist(),
+        margin_vec=margin_vec,
+        required_true=report.cell_required.tolist(),
+        required_eff=required_eff,
+    )
+    return report, state
+
+
+def incremental_analyze(
+    state: IncrementalState,
+    clock: ClockModel,
+    margins: Optional[Mapping[int, float]] = None,
+) -> Tuple[TimingReport, int]:
+    """Re-propagate from the dirty set; returns ``(report, frontier_cells)``.
+
+    The caller (:class:`~repro.timing.sta.TimingAnalyzer`) guarantees the
+    compiled view is current (mutation-version guard) and the clock period
+    matches the cached one; everything else — pending dirty cells, moved
+    clock arrivals, changed margins — is discovered and handled here.
+    """
+    compiled = state.compiled
+    num_levels = state.num_levels
+    level = state.level
+    fanin = state.fanin
+    fanout = state.fanout
+    is_flop = state.is_flop
+    is_src = state.is_src
+    is_outport = state.is_outport
+    is_ep = state.is_ep
+    ep_pos = state.ep_pos
+    eps = state.eps
+    intrinsic = state.intrinsic
+    slew_sens = state.slew_sens
+    drive_res = state.drive_res
+    load_cap = state.load_cap
+    slew_intr = state.slew_intr
+    slew_load = state.slew_load
+    arrival = state.arrival
+    slew = state.slew
+    ca = state.clock_arrival
+
+    dirty = state.pending
+    state.pending = set()
+
+    # Refresh the coefficient mirrors for cells whose compiled entries
+    # notify_resize patched — exactly the cells it marked dirty.
+    for c in dirty:
+        intrinsic[c] = float(compiled.intrinsic[c])
+        slew_sens[c] = float(compiled.slew_sens[c])
+        drive_res[c] = float(compiled.drive_res[c])
+        load_cap[c] = float(compiled.load_cap[c])
+        slew_intr[c] = float(compiled.slew_intr[c])
+        slew_load[c] = float(compiled.slew_load[c])
+
+    # Frontier cells are bucketed by topological level; the sweep touches
+    # only levels that hold work and each cell is recomputed at most once.
+    in_frontier = set(dirty)
+    buckets: List[List[int]] = [[] for _ in range(num_levels)]
+    for c in dirty:
+        buckets[level[c]].append(c)
+    ep_arr_dirty: Set[int] = set()
+    ep_req_dirty: List[int] = []
+
+    # ---- clock diff: the stale-skew safety net ----------------------- #
+    # notify_skew() marks moved flops eagerly, but analyze() never trusts
+    # it alone — a flop whose arrival differs from the cached vector is
+    # dirtied regardless of whether anyone notified.
+    for f in state.flop_cells:
+        value = clock.arrival(f)
+        if value != ca[f]:
+            ca[f] = value
+            ep_req_dirty.append(ep_pos[f])
+            if f not in in_frontier:
+                in_frontier.add(f)
+                buckets[level[f]].append(f)
+
+    # ---- forward re-propagation -------------------------------------- #
+    slew_changed: List[int] = []
+    frontier_cells = 0
+
+    def commit(c: int, new_arr: float, new_slew: float) -> None:
+        da = new_arr - arrival[c]
+        ds = new_slew - slew[c]
+        arr_moved = da > PRUNE_TOL or da < -PRUNE_TOL
+        slew_moved = ds > PRUNE_TOL or ds < -PRUNE_TOL
+        if not (arr_moved or slew_moved):
+            return
+        arrival[c] = new_arr
+        slew[c] = new_slew
+        if slew_moved:
+            slew_changed.append(c)
+        for s, _wire in fanout[c]:
+            if is_ep[s]:
+                ep_arr_dirty.add(ep_pos[s])
+            # Flop sinks capture only (their Q arrival never depends on D);
+            # every other sink — comb cells and output ports — re-propagates.
+            if not is_flop[s] and s not in in_frontier:
+                in_frontier.add(s)
+                buckets[level[s]].append(s)
+
+    for k in range(num_levels):
+        cells = buckets[k]
+        if not cells:
+            continue
+        buckets[k] = []
+        # Sources first: a dirty flop/inport may feed comb cells of the
+        # *same* level (levelization puts source-only-fed cells at level 0);
+        # their pushes land in this level's freshly emptied bucket.
+        combs = [c for c in cells if not is_src[c]]
+        for c in cells:
+            if not is_src[c]:
+                continue
+            frontier_cells += 1
+            self_delay = drive_res[c] * load_cap[c]
+            if is_flop[c]:
+                new_arr = ca[c] + state.clk_to_q[c] + self_delay
+            else:
+                new_arr = self_delay
+            commit(c, new_arr, slew_intr[c] + slew_load[c] * load_cap[c])
+        if buckets[k]:
+            combs.extend(buckets[k])
+            buckets[k] = []
+        for c in combs:
+            frontier_cells += 1
+            best = _NEG_INF
+            if is_outport[c]:
+                for u, wire in fanin[c]:
+                    v = arrival[u] + wire
+                    if v > best:
+                        best = v
+                new_arr = best + 0.0
+            else:
+                ic = intrinsic[c]
+                ss = slew_sens[c]
+                for u, wire in fanin[c]:
+                    v = (arrival[u] + wire) + (ic + ss * slew[u])
+                    if v > best:
+                        best = v
+                new_arr = best + drive_res[c] * load_cap[c]
+            commit(c, new_arr, slew_intr[c] + slew_load[c] * load_cap[c])
+
+    # ---- endpoint checks --------------------------------------------- #
+    ep_arrival = state.ep_arrival
+    ep_required = state.ep_required
+    for pos in ep_arr_dirty:
+        pins = fanin[eps[pos]]
+        if pins:
+            best = _NEG_INF
+            for u, wire in pins:
+                v = arrival[u] + wire
+                if v > best:
+                    best = v
+            ep_arrival[pos] = best
+        else:
+            ep_arrival[pos] = 0.0
+
+    ep_req_changed: List[int] = []
+    period = state.period
+    for pos in ep_req_dirty:
+        e = eps[pos]
+        if is_flop[e]:
+            new_req = period + ca[e] - state.setup[e]
+        else:
+            new_req = period
+        if new_req != ep_required[pos]:
+            ep_req_changed.append(pos)
+            ep_required[pos] = new_req
+
+    # ---- margins diff (a view: reseeds only the eff backward pass) ---- #
+    margin_vec = state.margin_vec
+    margin_changed: List[int] = []
+    if margins:
+        for pos, e in enumerate(eps):
+            m = float(margins.get(e, 0.0))
+            if m != margin_vec[pos]:
+                margin_changed.append(pos)
+                margin_vec[pos] = m
+        any_margin = any(margin_vec)
+    else:
+        any_margin = False
+        for pos, m in enumerate(margin_vec):
+            if m != 0.0:
+                margin_changed.append(pos)
+                margin_vec[pos] = 0.0
+
+    # ---- backward re-propagation ------------------------------------- #
+    # Seeds: any cell whose slew changed (its own gate-delay contribution
+    # to its required time moved), the fan-in of re-coefficiented cells
+    # (their gate delay as seen from upstream moved), and the fan-in of
+    # endpoints whose required seed moved.
+    cell_seeds = list(slew_changed)
+    for c in dirty:
+        for u, _wire in fanin[c]:
+            cell_seeds.append(u)
+
+    frontier_cells += _backward_incremental(
+        state, state.required_true, ep_required, cell_seeds, ep_req_changed
+    )
+
+    if not any_margin:
+        state.required_eff = None
+    else:
+        ep_eff_dirty = ep_req_changed + margin_changed
+        if state.required_eff is None:
+            # Margins just appeared: the eff view currently equals the true
+            # view (which the pass above already brought up to date), so
+            # only the freshly margined endpoints need re-seeding.
+            state.required_eff = list(state.required_true)
+            eff_seeds: List[int] = []
+        else:
+            eff_seeds = cell_seeds
+        ep_seed_eff = [r - m for r, m in zip(ep_required, margin_vec)]
+        frontier_cells += _backward_incremental(
+            state, state.required_eff, ep_seed_eff, eff_seeds, ep_eff_dirty
+        )
+
+    # ---- assemble the report (fresh arrays: the cache keeps mutating) - #
+    arr = np.array(arrival)
+    required_true = np.array(state.required_true)
+    worst_true = np.where(
+        np.isfinite(required_true), required_true - arr, np.inf
+    )
+    if state.required_eff is None:
+        worst_eff = worst_true.copy()
+    else:
+        required_eff = np.array(state.required_eff)
+        worst_eff = np.where(
+            np.isfinite(required_eff), required_eff - arr, np.inf
+        )
+    ep_arr = np.array(ep_arrival)
+    ep_req = np.array(ep_required)
+    report = TimingReport(
+        endpoints=compiled.endpoint_cells,
+        arrival=ep_arr,
+        required=ep_req,
+        slack=ep_req - ep_arr,
+        margins=np.array(margin_vec),
+        cell_arrival=arr,
+        cell_slew=np.array(slew),
+        cell_required=required_true,
+        cell_worst_slack=worst_true,
+        cell_worst_slack_margined=worst_eff,
+    )
+    return report, frontier_cells
+
+
+def _backward_incremental(
+    state: IncrementalState,
+    required: List[float],
+    ep_seed: Sequence[float],
+    cell_seeds: List[int],
+    ep_dirty_pos: List[int],
+) -> int:
+    """Pruned reverse-level sweep updating ``required`` in place.
+
+    ``ep_seed`` is the per-endpoint required seed of this view (true:
+    ``ep_required``; margin-aware: ``ep_required − margins``);
+    ``cell_seeds`` are cells to recompute up front (duplicates fine) and
+    ``ep_dirty_pos`` endpoint positions whose seed moved (their fan-in
+    joins the frontier).  Returns the number of cells recomputed.
+    """
+    fanin = state.fanin
+    fanout = state.fanout
+    is_src = state.is_src
+    is_comb = state.is_comb
+    is_ep = state.is_ep
+    ep_pos = state.ep_pos
+    level = state.level
+    slew = state.slew
+    intrinsic = state.intrinsic
+    slew_sens = state.slew_sens
+    drive_res = state.drive_res
+    load_cap = state.load_cap
+
+    in_frontier: Set[int] = set()
+    buckets: List[List[int]] = [[] for _ in range(state.num_levels)]
+    # Sources (flops/inports) sit at level 0 alongside the comb cells they
+    # drive, so a same-level push would arrive mid-sweep; since sources
+    # never push further, they are batched after the sweep instead (mirror
+    # of the forward pass' two-phase level 0).
+    src_batch: List[int] = []
+
+    def push(u: int) -> None:
+        if u in in_frontier:
+            return
+        in_frontier.add(u)
+        if is_src[u]:
+            src_batch.append(u)
+        else:
+            buckets[level[u]].append(u)
+
+    for u in cell_seeds:
+        push(u)
+    for pos in ep_dirty_pos:
+        for u, _wire in fanin[state.eps[pos]]:
+            push(u)
+
+    def recompute(u: int) -> float:
+        best = _POS_INF
+        su = slew[u]
+        for s, wire in fanout[u]:
+            if is_ep[s]:
+                contrib = ep_seed[ep_pos[s]] - wire
+            else:
+                contrib = (
+                    required[s]
+                    - (intrinsic[s] + slew_sens[s] * su + drive_res[s] * load_cap[s])
+                    - wire
+                )
+            if contrib < best:
+                best = contrib
+        return best
+
+    recomputed = 0
+    for k in range(state.num_levels - 1, -1, -1):
+        cells = buckets[k]
+        if not cells:
+            continue
+        # Pushes land strictly below level k (or in src_batch), never
+        # behind the sweep — the bucket can be iterated as-is.
+        for u in cells:
+            recomputed += 1
+            new_req = recompute(u)
+            old = required[u]
+            if new_req == old:
+                continue
+            d = new_req - old
+            if -PRUNE_TOL <= d <= PRUNE_TOL:
+                continue
+            required[u] = new_req
+            # Only combinational cells propagate required times upstream; a
+            # changed flop/port required is terminal (the full pass masks
+            # them out of the reverse sweep the same way).
+            if is_comb[u]:
+                for v, _wire in fanin[u]:
+                    push(v)
+
+    for u in src_batch:
+        recomputed += 1
+        required[u] = recompute(u)
+    return recomputed
+
+
+# ---------------------------------------------------------------------- #
+# Differential shadow check (REPRO_STA_CHECK=1)
+# ---------------------------------------------------------------------- #
+_COMPARED_FIELDS = (
+    "arrival",
+    "required",
+    "slack",
+    "margins",
+    "cell_arrival",
+    "cell_slew",
+    "cell_required",
+    "cell_worst_slack",
+    "cell_worst_slack_margined",
+)
+
+
+def assert_reports_equal(
+    incremental: TimingReport,
+    full: TimingReport,
+    atol: float = CHECK_ATOL,
+) -> None:
+    """Raise ``RuntimeError`` if the two reports disagree beyond ``atol``."""
+    if not np.array_equal(incremental.endpoints, full.endpoints):
+        raise RuntimeError(
+            "incremental STA drift: endpoint ordering differs from the "
+            "full engine's canonical order"
+        )
+    mismatches: List[str] = []
+    for name in _COMPARED_FIELDS:
+        a = getattr(incremental, name)
+        b = getattr(full, name)
+        if not np.allclose(a, b, rtol=0.0, atol=atol):
+            finite = np.isfinite(a) & np.isfinite(b)
+            worst = float(np.abs(a[finite] - b[finite]).max()) if finite.any() else np.inf
+            if np.any(np.isfinite(a) != np.isfinite(b)):
+                worst = np.inf
+            mismatches.append(f"{name} (max |Δ|={worst:.3e})")
+    if mismatches:
+        raise RuntimeError(
+            "incremental STA drift beyond "
+            f"{atol:g} in: {', '.join(mismatches)} — a dirty-set "
+            "notification is missing or the pruning rule is unsound"
+        )
+
+
+__all__ = [
+    "CHECK_ATOL",
+    "ENV_CHECK",
+    "ENV_INCREMENTAL",
+    "PRUNE_TOL",
+    "IncrementalState",
+    "assert_reports_equal",
+    "build_state",
+    "check_enabled",
+    "incremental_analyze",
+    "incremental_enabled",
+    "set_check",
+    "set_incremental",
+]

@@ -26,13 +26,16 @@ few milliseconds; the CCD engines simply re-run STA after each move batch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro import obs
 from repro.netlist.core import Netlist
 from repro.timing.clock import ClockModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.timing.incremental import IncrementalState
 
 _NO_DRIVER = -1
 
@@ -109,18 +112,41 @@ class TimingAnalyzer:
     (:data:`DEFAULT_CORNERS` by default; override via ``corners``).
     Compiled views are cached per corner and updated together on
     :meth:`notify_resize`.
+
+    ``analyze()`` is incremental by default (see
+    :mod:`repro.timing.incremental`): dirty cells accumulated from
+    :meth:`notify_resize` / :meth:`notify_skew` seed a pruned
+    re-propagation instead of a full sweep.  ``incremental=False`` (or the
+    ``REPRO_STA_INCREMENTAL=0`` environment switch) forces the full engine;
+    structural edits, clock-period changes, hold analysis and the first
+    analysis of a corner always take the full path.  A netlist mutated
+    without notification is caught by the mutation-version guard and
+    triggers ``invalidate()`` — a stale read without re-analysis is
+    impossible.
     """
 
-    def __init__(self, netlist: Netlist, corners: Optional[Dict[str, float]] = None):
+    def __init__(
+        self,
+        netlist: Netlist,
+        corners: Optional[Dict[str, float]] = None,
+        incremental: Optional[bool] = None,
+    ):
         self.netlist = netlist
         self.corners: Dict[str, float] = dict(corners or DEFAULT_CORNERS)
         if "typ" not in self.corners:
             self.corners["typ"] = 1.0
+        #: Per-analyzer override of the global incremental switch
+        #: (``None`` = follow :func:`repro.timing.incremental.incremental_enabled`).
+        self.incremental = incremental
         self._compiled: Dict[str, CompiledTiming] = {}
+        self._states: Dict[str, "IncrementalState"] = {}
+        self._expected_version: int = netlist.mutation_version
 
     def invalidate(self) -> None:
         """Drop all compiled views (call after structural mutations)."""
         self._compiled = {}
+        self._states = {}
+        self._expected_version = self.netlist.mutation_version
 
     def notify_resize(self, cell_index: int) -> None:
         """Incrementally update every cached corner after one resize.
@@ -137,6 +163,11 @@ class TimingAnalyzer:
         cell = netlist.cells[cell_index]
         size = cell.size
         i = cell_index
+        dirty = {i}
+        for net_index in cell.fanin_nets:
+            if net_index is None:
+                continue
+            dirty.add(netlist.nets[net_index].driver)
         for compiled in self._compiled.values():
             d = compiled.derate
             compiled.intrinsic[i] = d * size.intrinsic_delay
@@ -149,6 +180,38 @@ class TimingAnalyzer:
                     continue
                 driver = netlist.nets[net_index].driver
                 compiled.load_cap[driver] = netlist.net_load_cap(net_index)
+        # The resize is now fully reflected in the compiled views: mark the
+        # touched cells timing-stale so the next analyze() re-propagates
+        # them, and acknowledge the netlist mutation so the version guard
+        # does not force a needless recompile.
+        for state in self._states.values():
+            state.pending.update(dirty)
+        self._expected_version = netlist.mutation_version
+
+    def notify_skew(self, flop_indices: Iterable[int]) -> None:
+        """Mark flops whose clock arrival moved as timing-stale.
+
+        An eager hint for the useful-skew commit loop: the next
+        ``analyze()`` seeds its frontier from these flops instead of
+        discovering them via the clock-arrival diff (which still runs, so
+        an *unnotified* skew edit is caught regardless — this hook is a
+        fast path, not a correctness requirement).
+        """
+        flops = [int(f) for f in flop_indices]
+        for state in self._states.values():
+            state.pending.update(flops)
+
+    def notify_margins(self) -> None:
+        """Documented no-op: margins are a view and must not dirty timing.
+
+        Endpoint margins only reseed the margin-aware backward pass
+        (``slack_with_margins``/``cell_worst_slack_margined``); arrivals,
+        slews and true required times are untouched by applying or removing
+        them.  ``analyze()`` diffs the margin mapping itself, so there is
+        nothing to record here — the hook exists so call sites can state
+        intent (and so a future margin model that *does* perturb timing has
+        a seam to hook into).
+        """
 
     @property
     def compiled(self) -> CompiledTiming:
@@ -174,16 +237,64 @@ class TimingAnalyzer:
         include_hold: bool = False,
         corner: str = "typ",
     ) -> TimingReport:
-        """Run full STA under ``clock``; see :class:`TimingReport`.
+        """Run STA under ``clock``; see :class:`TimingReport`.
+
+        Dispatches to the incremental engine when enabled and a cached
+        :class:`~repro.timing.incremental.IncrementalState` for the corner
+        is still valid; otherwise runs the full engine (and, when
+        incremental mode is on, captures its state for future increments).
 
         ``include_hold=True`` additionally runs the min-delay pass and fills
         ``hold_slack`` / ``cell_min_arrival`` (conventionally run at the
-        ``"fast"`` corner, where races are worst).
+        ``"fast"`` corner, where races are worst); hold analysis always
+        takes the full path.
         """
-        with obs.span("sta.full_update"):
-            return analyze(
-                self.compiled_for(corner), clock, margins, include_hold=include_hold
-            )
+        from repro.timing import incremental as inc
+
+        if self.netlist.mutation_version != self._expected_version:
+            # The netlist mutated without notify_resize()/invalidate():
+            # every cached view is untrustworthy.  Recompiling here makes a
+            # stale read without re-analysis impossible.
+            self.invalidate()
+
+        use_inc = (
+            self.incremental
+            if self.incremental is not None
+            else inc.incremental_enabled()
+        )
+        compiled = self.compiled_for(corner)
+        state = self._states.get(corner)
+
+        if include_hold or not use_inc:
+            # Hold (min-delay) results are not cached incrementally; a
+            # plain full run leaves any cached state untouched — its
+            # pending set and the clock/margin diffs still cover whatever
+            # happens before the next incremental call.
+            with obs.span("sta.full_update"):
+                obs.incr("sta.full_analyze")
+                return analyze(compiled, clock, margins, include_hold=include_hold)
+
+        if (
+            state is None
+            or state.compiled is not compiled
+            or clock.period != state.period
+        ):
+            with obs.span("sta.full_update"):
+                obs.incr("sta.full_analyze")
+                report, state = inc.build_state(compiled, clock, margins)
+                self._states[corner] = state
+                return report
+
+        with obs.span("sta.incremental_analyze"):
+            obs.incr("sta.incremental_analyze")
+            report, frontier = inc.incremental_analyze(state, clock, margins)
+            obs.incr("sta.frontier_cells", frontier)
+        if inc.check_enabled():
+            with obs.span("sta.shadow_check"):
+                obs.incr("sta.shadow_checks")
+                full = analyze(compiled, clock, margins)
+                inc.assert_reports_equal(report, full)
+        return report
 
 
 def compile_timing(netlist: Netlist, derate: float = 1.0) -> CompiledTiming:

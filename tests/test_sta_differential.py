@@ -1,0 +1,177 @@
+"""Differential fuzz harness for the incremental STA engine.
+
+Each fuzz case builds a seeded random design, then applies a randomized
+sequence of the mutations the CCD engines actually perform — cell resizes,
+buffer insertions, useful-skew commits, margin apply/change/remove — and
+after every mutation asserts that the incrementally maintained report
+matches a from-scratch full analysis to 1e-9 across slacks, arrivals,
+required times and per-cell worst slacks.
+
+Run under ``REPRO_STA_CHECK=1`` (the ``sta-differential`` CI job does)
+every incremental analysis is *additionally* shadow-verified inside
+``analyze()`` itself; the assertions here stay on so the suite is also
+meaningful without the env var.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccd.flow import FlowConfig, run_flow
+from repro.netlist.generator import quick_design
+from repro.placement import PlacementConfig, place_design
+from repro.timing.clock import ClockModel
+from repro.timing.metrics import choose_clock_period
+from repro.timing.sta import TimingAnalyzer
+
+ATOL = 1e-9
+
+#: Report fields the differential harness compares (ISSUE acceptance set
+#: plus everything else cheap to check).
+FIELDS = (
+    "arrival",
+    "required",
+    "slack",
+    "cell_arrival",
+    "cell_slew",
+    "cell_required",
+    "cell_worst_slack",
+    "cell_worst_slack_margined",
+)
+
+
+def _build(seed: int, n_cells: int = 160):
+    netlist = quick_design(name=f"fuzz{seed}", n_cells=n_cells, seed=seed)
+    place_design(netlist, PlacementConfig(seed=seed + 1))
+    nominal = netlist.library.default_clock_period
+    scratch = TimingAnalyzer(netlist, incremental=False)
+    report = scratch.analyze(ClockModel.for_netlist(netlist, nominal))
+    period = choose_clock_period(report, nominal, 0.35)
+    return netlist, ClockModel.for_netlist(netlist, period)
+
+
+def _assert_matches_full(netlist, analyzer, clock, margins, context: str):
+    incremental = analyzer.analyze(clock, margins)
+    full = TimingAnalyzer(netlist, incremental=False).analyze(clock, margins)
+    assert np.array_equal(incremental.endpoints, full.endpoints), context
+    for name in FIELDS:
+        a = getattr(incremental, name)
+        b = getattr(full, name)
+        assert np.allclose(a, b, rtol=0.0, atol=ATOL), (
+            f"{context}: field {name} drifted beyond {ATOL} "
+            f"(max |Δ|={np.nanmax(np.abs(np.where(np.isfinite(a - b), a - b, 0.0))):.3e})"
+        )
+
+
+def _random_mutation(rng, netlist, analyzer, clock, margins):
+    """Apply one randomly chosen CCD-style mutation; returns new margins."""
+    kind = rng.choice(["resize", "buffer", "skew", "margins"], p=[0.45, 0.1, 0.3, 0.15])
+
+    if kind == "resize":
+        comb = [
+            c.index
+            for c in netlist.cells
+            if not c.cell_type.is_port and not c.is_sequential
+        ]
+        cell = netlist.cells[int(rng.choice(comb))]
+        netlist.resize_cell(
+            cell.index, int(rng.integers(0, cell.cell_type.max_size_index + 1))
+        )
+        analyzer.notify_resize(cell.index)
+
+    elif kind == "buffer":
+        candidates = [net for net in netlist.nets if net.fanout >= 2]
+        if candidates:
+            net = candidates[int(rng.integers(0, len(candidates)))]
+            keep = int(rng.integers(1, net.fanout))
+            netlist.insert_buffer(net.index, net.sinks[:keep])
+            analyzer.invalidate()  # structural edit: full-recompute fallback
+
+    elif kind == "skew":
+        flops = netlist.sequential_cells()
+        flop = int(rng.choice(flops))
+        room = clock.bound(flop) - clock.arrival(flop)
+        if room > 1e-9:
+            clock.adjust_arrival(flop, float(rng.uniform(0.0, room)))
+            if rng.random() < 0.8:
+                analyzer.notify_skew((flop,))
+            # else: un-notified — the clock-diff safety net must catch it
+
+    else:
+        endpoints = netlist.endpoints()
+        if margins or rng.random() < 0.5:
+            margins = {}  # remove
+        else:
+            chosen = rng.choice(endpoints, size=min(4, len(endpoints)), replace=False)
+            margins = {int(e): float(rng.uniform(0.01, 0.3)) for e in chosen}
+    return margins
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_fuzz_incremental_matches_full(seed):
+    netlist, clock = _build(seed)
+    analyzer = TimingAnalyzer(netlist, incremental=True)
+    margins = {}
+    rng = np.random.default_rng(seed)
+
+    _assert_matches_full(netlist, analyzer, clock, margins, f"seed {seed} initial")
+    for step in range(12):
+        margins = _random_mutation(rng, netlist, analyzer, clock, margins)
+        _assert_matches_full(
+            netlist, analyzer, clock, margins, f"seed {seed} step {step}"
+        )
+
+
+def test_unnotified_resize_cannot_be_read_stale():
+    """Regression: notify_resize patches load_cap[driver] — and the analyzer
+    must treat the patched cells as timing-stale.  A resize that skips the
+    hook entirely must be caught by the mutation-version guard: either way
+    a stale read is impossible."""
+    netlist, clock = _build(seed=99)
+    analyzer = TimingAnalyzer(netlist, incremental=True)
+    analyzer.analyze(clock)
+
+    target = next(
+        c
+        for c in netlist.cells
+        if not c.cell_type.is_port and not c.is_sequential and c.sizing_headroom > 0
+    )
+
+    # Notified path: the driver whose load cap moved must be re-propagated.
+    netlist.resize_cell(target.index, target.size_index + target.sizing_headroom)
+    analyzer.notify_resize(target.index)
+    _assert_matches_full(netlist, analyzer, clock, None, "notified resize")
+
+    # Un-notified path: the version guard must force a recompile.
+    netlist.resize_cell(target.index, 0)
+    _assert_matches_full(netlist, analyzer, clock, None, "un-notified resize")
+
+
+@pytest.mark.parametrize("seed", (3, 11))
+def test_flow_results_identical_incremental_on_vs_off(seed):
+    """End-to-end equivalence: the whole CCD flow — skew, margins, datapath
+    probes with rollbacks, final cleanup — produces *byte-identical* results
+    whichever STA engine serves it."""
+
+    def run(incremental: bool):
+        netlist = quick_design(name=f"flow{seed}", n_cells=220, seed=seed)
+        place_design(netlist, PlacementConfig(seed=seed))
+        nominal = netlist.library.default_clock_period
+        scratch = TimingAnalyzer(netlist, incremental=False)
+        report = scratch.analyze(ClockModel.for_netlist(netlist, nominal))
+        period = choose_clock_period(report, nominal, 0.35)
+        prioritized = netlist.endpoints()[:4]
+        return run_flow(
+            netlist,
+            FlowConfig(clock_period=period, incremental_sta=incremental),
+            prioritized_endpoints=prioritized,
+        )
+
+    on = run(True)
+    off = run(False)
+    assert on.final == off.final  # TNS/WNS/NVE summary, bit-for-bit
+    assert on.begin == off.begin
+    assert on.arrival_adjustments == off.arrival_adjustments  # skew schedule
+    assert on.skew_result.commits == off.skew_result.commits
+    assert on.datapath_result.total_moves == off.datapath_result.total_moves
