@@ -1,34 +1,69 @@
-"""Parallel flow-reward evaluation (paper §IV-A).
+"""Persistent parallel flow-reward evaluation (paper §IV-A).
 
 "For each design, we launch 8 parallel processes to train the framework
 parameters."  The expensive part of one RL iteration is not the policy
 network — it is the placement-optimization flow that produces the TNS
-reward.  This module evaluates a *batch* of trajectories' rewards across
-worker processes: each worker receives the design, restores the shared
-post-global-placement snapshot, runs the flow with its trajectory's
-selection, and returns the reward metrics.
+reward.  This module provides :class:`RolloutPool`, a pool of *long-lived*
+worker processes that load the design snapshot **once** at startup and then
+receive only ``(task_id, attempt, selection)`` tuples per task — payloads
+that are O(selection), not O(netlist) — plus a content-addressed
+:class:`RewardCache` so re-samples of identical trajectories (common late in
+training when entropy collapses) skip the flow entirely.
 
-Uses the ``fork`` start method where available (Linux/macOS) so the parent
-netlist is inherited copy-on-write; on platforms without ``fork`` — or with
-``workers <= 1`` — evaluation degrades gracefully to sequential in-process
-execution with identical results (flows are deterministic).
+Fault tolerance (see ``docs/rollout.md``):
+
+* every dispatched task carries a deadline; a worker that exceeds it is
+  killed and the task retried (``rollout.task_timeouts``);
+* workers heartbeat from a daemon thread into shared memory, so a frozen
+  process (e.g. ``SIGSTOP``) is detected before the full task timeout;
+* crashed workers (EOF on the pipe) and corrupt results (anything that is
+  not a finite, shape-consistent :class:`FlowReward`) trigger bounded
+  retries with per-slot respawn + exponential backoff
+  (``rollout.worker_restarts``);
+* when retries are exhausted — or process start fails entirely — the pool
+  degrades to sequential in-process evaluation, so results are *always*
+  produced and always identical to a sequential run (flows are
+  deterministic).
+
+``fork`` is preferred where available (workers inherit the parent netlist
+copy-on-write); ``spawn`` is supported as the no-fork fallback, in which
+case the design snapshot is pickled exactly once per worker at pool
+startup.  ``REPRO_ROLLOUT_START_METHOD`` forces the choice (the
+``rollout-faults`` CI job runs the fault suite under both).
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
 import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.ccd.flow import (
     FlowConfig,
     NetlistState,
+    flow_config_digest,
+    netlist_state_digest,
     restore_netlist_state,
     run_flow,
     snapshot_netlist_state,
 )
 from repro.netlist.core import Netlist
+
+#: Environment variable forcing the pool's process start method
+#: (``fork`` or ``spawn``).  Unset → ``fork`` where available, else
+#: ``spawn``.
+START_METHOD_ENV_VAR = "REPRO_ROLLOUT_START_METHOD"
+
+#: Heartbeat period of the worker-side daemon thread (seconds).
+HEARTBEAT_INTERVAL = 0.05
 
 
 @dataclass(frozen=True)
@@ -56,57 +91,617 @@ def _evaluate_one(args) -> FlowReward:
     )
 
 
-def _evaluate_one_forked(args):
-    """Pool worker body: same as :func:`_evaluate_one`, but from a fresh
-    child recorder whose state is shipped back for the parent to merge —
-    spans/counters from the 8-process farm land in the same aggregate a
-    sequential run produces."""
-    obs.child_reset()
-    reward = _evaluate_one(args)
-    return reward, obs.export_state()
-
-
 def fork_available() -> bool:
     """Whether the efficient ``fork`` start method exists on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def resolve_start_method(requested: Optional[str] = None) -> Optional[str]:
+    """The start method the pool should use, or ``None`` for sequential.
+
+    Priority: explicit argument > :data:`START_METHOD_ENV_VAR` > ``fork``
+    where available > ``spawn``.  An unavailable method returns ``None``
+    (the graceful-degradation signal) rather than raising.
+    """
+    method = requested or os.environ.get(START_METHOD_ENV_VAR, "").strip() or None
+    if method is None:
+        method = "fork" if fork_available() else "spawn"
+    if method not in multiprocessing.get_all_start_methods():
+        return None
+    return method
+
+
+# ---------------------------------------------------------------------- #
+# Reward cache
+# ---------------------------------------------------------------------- #
+class RewardCache:
+    """Content-addressed cache of :class:`FlowReward` by trajectory.
+
+    The key is ``sha256(design digest ‖ flow-config digest ‖ frozen
+    selection tuple)`` — same design state, same recipe, same prioritized
+    endpoints ⇒ same deterministic flow outcome, so a hit replays the
+    stored reward without running the flow.  Eviction is FIFO at
+    ``max_entries`` (selections are tiny; the default never evicts in
+    practice).
+    """
+
+    def __init__(
+        self,
+        design_digest: str,
+        config_digest: str,
+        max_entries: int = 65536,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._prefix = f"{design_digest}:{config_digest}:"
+        self._entries: "OrderedDict[str, FlowReward]" = OrderedDict()
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def for_context(
+        cls, snapshot: NetlistState, flow_config: FlowConfig, **kwargs
+    ) -> "RewardCache":
+        """Cache bound to one design begin-state + flow recipe."""
+        return cls(
+            netlist_state_digest(snapshot), flow_config_digest(flow_config), **kwargs
+        )
+
+    def key(self, selection: Sequence[int]) -> str:
+        payload = self._prefix + ",".join(str(int(s)) for s in selection)
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+    def get(self, selection: Sequence[int]) -> Optional[FlowReward]:
+        reward = self._entries.get(self.key(selection))
+        if reward is None:
+            self.misses += 1
+            obs.incr("rollout.cache_miss")
+        else:
+            self.hits += 1
+            obs.incr("rollout.cache_hit")
+        return reward
+
+    def put(self, selection: Sequence[int], reward: FlowReward) -> None:
+        key = self.key(selection)
+        if key not in self._entries and len(self._entries) >= self._max_entries:
+            self._entries.popitem(last=False)
+        self._entries[key] = reward
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------- #
+# Worker side
+# ---------------------------------------------------------------------- #
+def _task_message(task_id: int, attempt: int, selection: Sequence[int]) -> tuple:
+    """The *entire* per-task IPC payload — O(selection), never the netlist.
+
+    A regression test pickles this and asserts it stays orders of magnitude
+    smaller than the design (the pre-pool implementation re-pickled the
+    whole netlist into every task).
+    """
+    return ("task", int(task_id), int(attempt), tuple(int(s) for s in selection))
+
+
+def _heartbeat_loop(heartbeat) -> None:
+    while True:
+        heartbeat.value = time.monotonic()
+        time.sleep(HEARTBEAT_INTERVAL)
+
+
+def _apply_fault(action: Optional[str]) -> bool:
+    """Test-only fault injection; returns True when the result should be
+    corrupted after the flow runs."""
+    if action == "crash":
+        os._exit(13)
+    if action == "hang":
+        time.sleep(3600.0)
+    return action == "corrupt"
+
+
+def _worker_main(conn, heartbeat, blob) -> None:
+    """Long-lived worker: load the design once, then serve tasks forever.
+
+    ``blob`` — ``(netlist, snapshot, flow_config, obs_enabled, fault_spec)``
+    — is shipped exactly once: inherited copy-on-write under ``fork``,
+    pickled once per worker under ``spawn``.  Tasks arriving on ``conn``
+    carry only the selection.
+    """
+    netlist, snapshot, flow_config, obs_enabled, fault_spec = blob
+    if obs_enabled:
+        obs.enable()
+    obs.child_reset()
+    # Ready goes out before the first heartbeat, so a nonzero heartbeat
+    # timestamp implies the ready message is already in the pipe.
+    conn.send(("ready", os.getpid()))
+    threading.Thread(target=_heartbeat_loop, args=(heartbeat,), daemon=True).start()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "stop":
+            break
+        _, task_id, attempt, selection = message
+        corrupt = _apply_fault(
+            fault_spec.get((task_id, attempt)) if fault_spec else None
+        )
+        obs.child_reset()
+        try:
+            reward = _evaluate_one((netlist, snapshot, flow_config, list(selection)))
+        except BaseException as exc:  # noqa: BLE001 — report, don't die
+            conn.send(("err", task_id, attempt, f"{type(exc).__name__}: {exc}"))
+            continue
+        if corrupt:
+            conn.send(("ok", task_id, attempt, ("not", "a", "reward"), None))
+            continue
+        conn.send(("ok", task_id, attempt, reward, obs.export_state()))
+    conn.close()
+
+
+def _valid_reward(obj: Any, selection: Sequence[int]) -> bool:
+    """Shape + sanity check guarding training against corrupt worker output."""
+    if not isinstance(obj, FlowReward):
+        return False
+    for value in (obj.tns, obj.wns, obj.power_total):
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            return False
+    return (
+        isinstance(obj.nve, int)
+        and isinstance(obj.num_selected, int)
+        and obj.num_selected == len(selection)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Parent side
+# ---------------------------------------------------------------------- #
+class _Worker:
+    """One pool slot: process + duplex pipe + shared heartbeat timestamp."""
+
+    __slots__ = ("process", "conn", "heartbeat", "ready", "busy", "restarts")
+
+    def __init__(self, process, conn, heartbeat) -> None:
+        self.process = process
+        self.conn = conn
+        self.heartbeat = heartbeat
+        self.ready = False
+        # (index, task_id, attempt, deadline) while a task is in flight.
+        self.busy: Optional[Tuple[int, int, int, float]] = None
+        self.restarts = 0
+
+
+class RolloutPool:
+    """Persistent, fault-tolerant farm of flow-evaluation workers.
+
+    Create once per training run (the snapshot ships to each worker a
+    single time), call :meth:`evaluate` per update batch, and :meth:`close`
+    (or use as a context manager) when training ends.  ``workers <= 1`` or
+    an unavailable start method silently degrade to sequential in-process
+    evaluation — results are identical either way.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        flow_config: FlowConfig,
+        workers: int = 2,
+        snapshot: Optional[NetlistState] = None,
+        task_timeout: float = 120.0,
+        heartbeat_timeout: float = 10.0,
+        worker_start_timeout: float = 60.0,
+        max_retries: int = 2,
+        max_worker_restarts: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        start_method: Optional[str] = None,
+        cache: Optional[RewardCache] = None,
+        fault_spec: Optional[Mapping[Tuple[int, int], str]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        for name, value in (
+            ("task_timeout", task_timeout),
+            ("heartbeat_timeout", heartbeat_timeout),
+            ("worker_start_timeout", worker_start_timeout),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        self.netlist = netlist
+        self.flow_config = flow_config
+        self.workers = workers
+        self.snapshot = snapshot if snapshot is not None else snapshot_netlist_state(netlist)
+        self.task_timeout = float(task_timeout)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.worker_start_timeout = float(worker_start_timeout)
+        self.max_retries = int(max_retries)
+        self.max_worker_restarts = int(max_worker_restarts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.cache = cache
+        self.fault_spec = dict(fault_spec) if fault_spec else None
+        self._log = obs.get_logger("agent.rollout")
+        self._next_task_id = 0
+        self._closed = False
+        self._slots: List[_Worker] = []
+        self._ctx = None
+        self.stats_counters: Dict[str, int] = {
+            "batches": 0,
+            "tasks": 0,
+            "worker_restarts": 0,
+            "task_timeouts": 0,
+            "worker_crashes": 0,
+            "corrupt_results": 0,
+            "sequential_fallbacks": 0,
+        }
+
+        # workers == 1 runs sequentially unless a start method is explicitly
+        # requested (fault tests pin a single real worker process that way).
+        self.start_method = (
+            resolve_start_method(start_method)
+            if workers > 1 or start_method is not None
+            else None
+        )
+        if self.start_method is not None:
+            try:
+                self._ctx = multiprocessing.get_context(self.start_method)
+                self._slots = [self._spawn_worker() for _ in range(workers)]
+            except Exception as exc:  # pragma: no cover — platform-dependent
+                self._log.warning(
+                    "rollout pool startup failed (%s); degrading to sequential", exc
+                )
+                self._teardown_slots()
+                self.start_method = None
+        if self.start_method is None:
+            self._log.debug("rollout pool running sequentially (no worker processes)")
+
+    # ---- lifecycle --------------------------------------------------- #
+    def __enter__(self) -> "RolloutPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _spawn_worker(self) -> _Worker:
+        assert self._ctx is not None
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        heartbeat = self._ctx.Value("d", 0.0, lock=False)
+        blob = (
+            self.netlist,
+            self.snapshot,
+            self.flow_config,
+            obs.enabled(),
+            self.fault_spec,
+        )
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, heartbeat, blob),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn, heartbeat)
+
+    def _kill_worker(self, worker: _Worker) -> None:
+        """Hard-stop a slot's process (SIGKILL: works on stopped processes)."""
+        try:
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=5.0)
+        except (OSError, ValueError):  # pragma: no cover — already gone
+            pass
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _teardown_slots(self) -> None:
+        for worker in self._slots:
+            self._kill_worker(worker)
+        self._slots = []
+
+    def close(self) -> None:
+        """Stop all workers; the pool degrades to sequential afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._slots:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in self._slots:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._teardown_slots()
+
+    def alive_workers(self) -> int:
+        return sum(1 for w in self._slots if w.process.is_alive())
+
+    def stats(self) -> Dict[str, Any]:
+        """Pool-health summary (the ``rollout`` run-record payload)."""
+        out: Dict[str, Any] = dict(self.stats_counters)
+        out["workers"] = self.workers
+        out["start_method"] = self.start_method or "sequential"
+        out["cache_hits"] = self.cache.hits if self.cache is not None else 0
+        out["cache_misses"] = self.cache.misses if self.cache is not None else 0
+        out["cache_entries"] = len(self.cache) if self.cache is not None else 0
+        return out
+
+    # ---- failure handling -------------------------------------------- #
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.stats_counters[name] += amount
+        obs.incr(f"rollout.{name}", amount)
+
+    def _respawn_slot(self, slot: int) -> None:
+        """Replace a failed slot's process, with exponential backoff.
+
+        A slot past ``max_worker_restarts`` is retired; when every slot is
+        retired the pool degrades to sequential for the rest of its life.
+        """
+        worker = self._slots[slot]
+        restarts = worker.restarts + 1
+        self._kill_worker(worker)
+        if restarts > self.max_worker_restarts:
+            self._log.warning(
+                "rollout worker slot %d exceeded %d restarts; retiring slot",
+                slot,
+                self.max_worker_restarts,
+            )
+            self._slots[slot] = worker  # keep the dead slot for bookkeeping
+            worker.busy = None
+            worker.ready = False
+            return
+        delay = min(self.backoff_base * (2.0 ** (restarts - 1)), self.backoff_cap)
+        if delay > 0:
+            time.sleep(delay)
+        self._count("worker_restarts")
+        replacement = self._spawn_worker()
+        replacement.restarts = restarts
+        self._slots[slot] = replacement
+
+    def _fail_task(
+        self,
+        slot: int,
+        reason: str,
+        results: List[Optional[FlowReward]],
+        queue: deque,
+        selections: Sequence[Sequence[int]],
+    ) -> None:
+        """A busy slot failed: respawn it and retry or sequentially finish
+        its task (bounded retries keep a poisoned task from looping)."""
+        worker = self._slots[slot]
+        assert worker.busy is not None
+        index, task_id, attempt, _ = worker.busy
+        worker.busy = None
+        self._log.warning(
+            "rollout task %d attempt %d failed (%s)", task_id, attempt, reason
+        )
+        self._respawn_slot(slot)
+        if attempt + 1 > self.max_retries:
+            self._count("sequential_fallbacks")
+            results[index] = self._evaluate_sequential(selections[index])
+        else:
+            queue.appendleft((index, task_id, attempt + 1))
+
+    def _evaluate_sequential(self, selection: Sequence[int]) -> FlowReward:
+        reward = _evaluate_one(
+            (self.netlist, self.snapshot, self.flow_config, list(selection))
+        )
+        restore_netlist_state(self.netlist, self.snapshot)
+        return reward
+
+    # ---- evaluation -------------------------------------------------- #
+    def evaluate(self, selections: Sequence[Sequence[int]]) -> List[FlowReward]:
+        """Evaluate each selection's flow reward from the pool's snapshot.
+
+        Returns rewards in ``selections`` order, byte-identical to a
+        sequential run regardless of caching, worker failures or retries.
+        The caller's netlist is left at the snapshot state.
+        """
+        if self._closed:
+            raise RuntimeError("RolloutPool is closed")
+        selections = [list(sel) for sel in selections]
+        results: List[Optional[FlowReward]] = [None] * len(selections)
+        self._count("batches")
+        self._count("tasks", len(selections))
+
+        # Cache pass: hits replay instantly, misses become pool tasks.
+        queue: deque = deque()
+        for index, selection in enumerate(selections):
+            cached = self.cache.get(selection) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                queue.append((index, self._next_task_id, 0))
+                self._next_task_id += 1
+
+        with obs.span("rollout.evaluate"):
+            if self.start_method is None or self.alive_workers() == 0:
+                for index, _, _ in queue:
+                    results[index] = self._evaluate_sequential(selections[index])
+            else:
+                self._run_pooled(queue, results, selections)
+
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover — defensive; degradation fills all
+            raise RuntimeError(f"rollout pool lost tasks {missing}")
+        if self.cache is not None:
+            for selection, reward in zip(selections, results):
+                self.cache.put(selection, reward)
+        restore_netlist_state(self.netlist, self.snapshot)
+        return list(results)
+
+    def _run_pooled(
+        self,
+        queue: deque,
+        results: List[Optional[FlowReward]],
+        selections: Sequence[Sequence[int]],
+    ) -> None:
+        start = time.monotonic()
+        while queue or any(w.busy is not None for w in self._slots):
+            now = time.monotonic()
+            # No live worker left → graceful degradation for the remainder.
+            if self.alive_workers() == 0:
+                for worker in self._slots:
+                    if worker.busy is not None:
+                        index, _, _, _ = worker.busy
+                        worker.busy = None
+                        self._count("sequential_fallbacks")
+                        results[index] = self._evaluate_sequential(selections[index])
+                while queue:
+                    index, _, _ = queue.popleft()
+                    self._count("sequential_fallbacks")
+                    results[index] = self._evaluate_sequential(selections[index])
+                break
+
+            # Dispatch to idle, ready workers.
+            for slot, worker in enumerate(self._slots):
+                if not queue:
+                    break
+                if worker.busy is None and worker.ready and worker.process.is_alive():
+                    index, task_id, attempt = queue.popleft()
+                    try:
+                        worker.conn.send(
+                            _task_message(task_id, attempt, selections[index])
+                        )
+                    except (OSError, ValueError):
+                        # The pipe is already dead: treat as a crash of this
+                        # attempt (_fail_task requeues or falls back).
+                        worker.busy = (index, task_id, attempt, now)
+                        self._count("worker_crashes")
+                        self._fail_task(slot, "send failed", results, queue, selections)
+                        continue
+                    worker.busy = (index, task_id, attempt, now + self.task_timeout)
+            obs.gauge(
+                "rollout.inflight",
+                sum(1 for w in self._slots if w.busy is not None),
+            )
+
+            # Wait for any worker message (result, ready, or EOF).
+            conns = [
+                w.conn
+                for w in self._slots
+                if w.process.is_alive() or w.busy is not None
+            ]
+            ready_conns = (
+                multiprocessing.connection.wait(conns, timeout=0.05) if conns else []
+            )
+            for conn in ready_conns:
+                slot = next(
+                    i for i, w in enumerate(self._slots) if w.conn is conn
+                )
+                worker = self._slots[slot]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._count("worker_crashes")
+                    if worker.busy is not None:
+                        self._fail_task(slot, "worker crashed", results, queue, selections)
+                    else:
+                        self._respawn_slot(slot)
+                    continue
+                kind = message[0]
+                if kind == "ready":
+                    worker.ready = True
+                    continue
+                if worker.busy is None:
+                    continue  # stale result from a task already failed over
+                index, task_id, attempt, _ = worker.busy
+                if kind == "err":
+                    _, r_task, r_attempt, detail = message
+                    if (r_task, r_attempt) != (task_id, attempt):
+                        continue
+                    self._fail_task(
+                        slot, f"worker error: {detail}", results, queue, selections
+                    )
+                    continue
+                _, r_task, r_attempt, reward, child_state = message
+                if (r_task, r_attempt) != (task_id, attempt):
+                    continue  # stale: the task was retried elsewhere
+                if not _valid_reward(reward, selections[index]):
+                    self._count("corrupt_results")
+                    self._fail_task(slot, "corrupt result", results, queue, selections)
+                    continue
+                worker.busy = None
+                results[index] = reward
+                obs.merge_state(child_state)
+
+            # Deadline + heartbeat sweep.
+            now = time.monotonic()
+            for slot, worker in enumerate(self._slots):
+                if worker.busy is not None:
+                    deadline = worker.busy[3]
+                    if not worker.process.is_alive():
+                        self._count("worker_crashes")
+                        self._fail_task(slot, "worker died", results, queue, selections)
+                    elif now > deadline:
+                        self._count("task_timeouts")
+                        self._fail_task(slot, "task timeout", results, queue, selections)
+                    elif (
+                        worker.heartbeat.value > 0.0
+                        and now - worker.heartbeat.value > self.heartbeat_timeout
+                    ):
+                        self._count("worker_crashes")
+                        self._fail_task(
+                            slot, "heartbeat lost (frozen worker)", results, queue, selections
+                        )
+                elif (
+                    not worker.ready
+                    and worker.process.is_alive()
+                    and now - start > self.worker_start_timeout
+                ):
+                    self._respawn_slot(slot)
+        obs.gauge("rollout.inflight", 0)
+
+
+# ---------------------------------------------------------------------- #
+# Convenience API (kept for one-shot callers and backwards compatibility)
+# ---------------------------------------------------------------------- #
 def evaluate_selections(
     netlist: Netlist,
     flow_config: FlowConfig,
     selections: Sequence[List[int]],
     workers: int = 1,
     snapshot: Optional[NetlistState] = None,
+    cache: Optional[RewardCache] = None,
+    task_timeout: float = 120.0,
+    start_method: Optional[str] = None,
 ) -> List[FlowReward]:
     """Evaluate each selection's flow reward from the same begin state.
 
-    The caller's netlist is left exactly at ``snapshot`` (taken here if not
-    provided).  With ``workers > 1`` and ``fork`` available, evaluations run
-    in parallel processes; results are identical either way because flows
-    are deterministic.
+    One-shot wrapper over :class:`RolloutPool`; training loops should hold
+    a pool open across batches instead (the snapshot then ships to workers
+    once per run, not once per call).  The caller's netlist is left exactly
+    at ``snapshot`` (taken here if not provided); results are identical
+    sequential or pooled because flows are deterministic.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if snapshot is None:
         snapshot = snapshot_netlist_state(netlist)
-    tasks = [(netlist, snapshot, flow_config, list(sel)) for sel in selections]
-
-    if workers == 1 or len(tasks) <= 1 or not fork_available():
-        rewards = [_evaluate_one(t) for t in tasks]
+    if workers == 1 or len(selections) <= 1:
+        results: List[FlowReward] = []
+        for selection in selections:
+            selection = list(selection)
+            cached = cache.get(selection) if cache is not None else None
+            if cached is None:
+                cached = _evaluate_one((netlist, snapshot, flow_config, selection))
+                if cache is not None:
+                    cache.put(selection, cached)
+            results.append(cached)
         restore_netlist_state(netlist, snapshot)
-        return rewards
-
-    ctx = multiprocessing.get_context("fork")
-    obs.incr("parallel.batches")
-    obs.incr("parallel.tasks", len(tasks))
-    with obs.span("agent.parallel.dispatch"):
-        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
-            results = pool.map(_evaluate_one_forked, tasks)
-    rewards = [reward for reward, _ in results]
-    with obs.span("agent.parallel.merge"):
-        for _, child_state in results:
-            obs.merge_state(child_state)
-    # Children mutated their own copies; the parent netlist saw the pickled
-    # snapshot only — restore anyway for belt-and-braces determinism.
-    restore_netlist_state(netlist, snapshot)
-    return rewards
+        return results
+    with RolloutPool(
+        netlist,
+        flow_config,
+        workers=min(workers, len(selections)),
+        snapshot=snapshot,
+        task_timeout=task_timeout,
+        start_method=start_method,
+        cache=cache,
+    ) as pool:
+        return pool.evaluate(selections)

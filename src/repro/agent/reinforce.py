@@ -21,8 +21,11 @@ Practicalities the paper leaves implicit, implemented the standard way:
   rule with a configurable patience and an episode cap;
 * the paper trains with 8 parallel CPU processes; we batch
   ``episodes_per_update`` rollouts per gradient step and (optionally)
-  evaluate their flow rewards across ``workers`` forked processes — see
-  :mod:`repro.agent.parallel`.
+  evaluate their flow rewards across a persistent, fault-tolerant
+  :class:`~repro.agent.parallel.RolloutPool` of ``workers`` processes,
+  with a content-addressed reward cache that replays re-sampled
+  trajectories without re-running the flow — see
+  :mod:`repro.agent.parallel` and ``docs/rollout.md``.
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ import numpy as np
 from repro import obs
 from repro.obs import telemetry as obs_telemetry
 from repro.agent.env import EndpointSelectionEnv
-from repro.agent.parallel import evaluate_selections
+from repro.agent.parallel import RewardCache, RolloutPool, evaluate_selections
 from repro.agent.policy import RLCCDPolicy, Trajectory
 from repro.ccd.flow import (
     FlowConfig,
@@ -79,6 +82,16 @@ class TrainConfig:
     # the policy to keep exploring when rewards are flat.  0 disables (the
     # paper does not mention one; useful on hard designs).
     entropy_coefficient: float = 0.0
+    # Per-task wall-clock budget for one pooled flow evaluation; a worker
+    # exceeding it is killed and the task retried (then run sequentially).
+    rollout_timeout: float = 120.0
+    # Content-addressed reward cache: re-sampled trajectories (common once
+    # entropy collapses) replay their stored FlowReward instead of
+    # re-running the flow.  Rewards are identical either way.
+    reward_cache: bool = True
+    # Pool process start method: None → fork where available, else spawn
+    # (REPRO_ROLLOUT_START_METHOD overrides the default).
+    rollout_start_method: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -87,6 +100,7 @@ class TrainConfig:
         check_positive("learning_rate", self.learning_rate)
         check_positive("plateau_patience", self.plateau_patience)
         check_positive("workers", self.workers)
+        check_positive("rollout_timeout", self.rollout_timeout)
         if self.entropy_coefficient < 0:
             raise ValueError("entropy_coefficient must be non-negative")
 
@@ -251,82 +265,119 @@ def train_rlccd(
             return True
         return False
 
-    while episode < config.max_episodes:
-        optimizer.zero_grad()
-        batch_improved = False
-        batch_size = min(config.episodes_per_update, config.max_episodes - episode)
+    # Reward evaluation backends: a content-addressed cache shared by both
+    # paths, plus — for workers > 1 — a persistent fault-tolerant pool whose
+    # workers load the design snapshot once for the whole training run.
+    cache = (
+        RewardCache.for_context(snapshot, flow_config) if config.reward_cache else None
+    )
+    pool: Optional[RolloutPool] = None
+    if config.workers > 1:
+        pool = RolloutPool(
+            env.netlist,
+            flow_config,
+            workers=config.workers,
+            snapshot=snapshot,
+            task_timeout=config.rollout_timeout,
+            start_method=config.rollout_start_method,
+            cache=cache,
+        )
 
-        if config.workers > 1:
-            # Parallel reward evaluation (paper's farm training, §IV-A):
-            # all batch trajectories' tapes are held while workers run.
-            with obs.span("agent.rollout"):
-                trajectories = [
-                    policy.rollout(
-                        env,
-                        rng=rng,
-                        max_steps=max_steps,
-                        with_entropy=config.entropy_coefficient > 0,
-                    )
-                    for _ in range(batch_size)
-                ]
-            with obs.span("agent.flow_eval"):
-                rewards = evaluate_selections(
-                    env.netlist,
-                    flow_config,
-                    [t.action_cells for t in trajectories],
-                    workers=config.workers,
-                    snapshot=snapshot,
-                )
-            for trajectory, flow_reward in zip(trajectories, rewards):
-                improved = process(trajectory, flow_reward, batch_size)
-                batch_improved = batch_improved or improved
-            del trajectories
-        else:
-            # Sequential: interleave rollout → evaluate → backward so only
-            # one trajectory's autograd tape is alive at a time.
-            for _ in range(batch_size):
+    try:
+        while episode < config.max_episodes:
+            optimizer.zero_grad()
+            batch_improved = False
+            batch_size = min(config.episodes_per_update, config.max_episodes - episode)
+
+            if pool is not None:
+                # Parallel reward evaluation (paper's farm training, §IV-A):
+                # all batch trajectories' tapes are held while workers run.
                 with obs.span("agent.rollout"):
-                    trajectory = policy.rollout(
-                        env,
-                        rng=rng,
-                        max_steps=max_steps,
-                        with_entropy=config.entropy_coefficient > 0,
-                    )
+                    trajectories = [
+                        policy.rollout(
+                            env,
+                            rng=rng,
+                            max_steps=max_steps,
+                            with_entropy=config.entropy_coefficient > 0,
+                        )
+                        for _ in range(batch_size)
+                    ]
                 with obs.span("agent.flow_eval"):
-                    (flow_reward,) = evaluate_selections(
-                        env.netlist,
-                        flow_config,
-                        [trajectory.action_cells],
-                        workers=1,
-                        snapshot=snapshot,
+                    rewards = pool.evaluate(
+                        [t.action_cells for t in trajectories]
                     )
-                improved = process(trajectory, flow_reward, batch_size)
-                batch_improved = batch_improved or improved
-                del trajectory
+                for trajectory, flow_reward in zip(trajectories, rewards):
+                    improved = process(trajectory, flow_reward, batch_size)
+                    batch_improved = batch_improved or improved
+                del trajectories
+            else:
+                # Sequential: interleave rollout → evaluate → backward so only
+                # one trajectory's autograd tape is alive at a time.
+                for _ in range(batch_size):
+                    with obs.span("agent.rollout"):
+                        trajectory = policy.rollout(
+                            env,
+                            rng=rng,
+                            max_steps=max_steps,
+                            with_entropy=config.entropy_coefficient > 0,
+                        )
+                    with obs.span("agent.flow_eval"):
+                        (flow_reward,) = evaluate_selections(
+                            env.netlist,
+                            flow_config,
+                            [trajectory.action_cells],
+                            workers=1,
+                            snapshot=snapshot,
+                            cache=cache,
+                        )
+                    improved = process(trajectory, flow_reward, batch_size)
+                    batch_improved = batch_improved or improved
+                    del trajectory
 
-        with obs.span("agent.update"):
-            grad_norm = clip_gradient_norm(policy.parameters(), config.gradient_clip)
-            optimizer.step()
+            with obs.span("agent.update"):
+                grad_norm = clip_gradient_norm(
+                    policy.parameters(), config.gradient_clip
+                )
+                optimizer.step()
 
-        if pending_records:
-            # The whole batch shared one gradient step; every staged episode
-            # record gets that update's pre/post-clip norms, then ships.
-            postclip = min(grad_norm, config.gradient_clip)
-            for payload in pending_records:
-                tele = payload.get("telemetry") or {}
-                tele["grad_norm_preclip"] = grad_norm
-                tele["grad_norm_postclip"] = postclip
-                payload["telemetry"] = tele
-                obs.emit("episode", payload)
-            pending_records.clear()
+            if pending_records:
+                # The whole batch shared one gradient step; every staged
+                # episode record gets that update's pre/post-clip norms,
+                # then ships.
+                postclip = min(grad_norm, config.gradient_clip)
+                for payload in pending_records:
+                    tele = payload.get("telemetry") or {}
+                    tele["grad_norm_preclip"] = grad_norm
+                    tele["grad_norm_postclip"] = postclip
+                    payload["telemetry"] = tele
+                    obs.emit("episode", payload)
+                pending_records.clear()
 
-        if batch_improved:
-            plateau = 0
-        else:
-            plateau += 1
-            if plateau >= config.plateau_patience:
-                converged = True
-                break
+            if batch_improved:
+                plateau = 0
+            else:
+                plateau += 1
+                if plateau >= config.plateau_patience:
+                    converged = True
+                    break
+    finally:
+        if obs.tracing() and (pool is not None or cache is not None):
+            stats: Dict[str, Any] = (
+                pool.stats()
+                if pool is not None
+                else {
+                    "workers": 1,
+                    "start_method": "sequential",
+                    "cache_hits": cache.hits,
+                    "cache_misses": cache.misses,
+                    "cache_entries": len(cache),
+                }
+            )
+            stats["seed"] = config.seed
+            stats["design_fingerprint"] = env.design_fingerprint()
+            obs.emit("rollout", stats)
+        if pool is not None:
+            pool.close()
 
     # Materialize the best selection's full flow result (deterministic).
     if best_selection:

@@ -165,6 +165,17 @@ def format_bench(payload: Mapping) -> str:
             f"  incremental STA vs full engine: {sta_speedup:.2f}x on sta.* "
             f"phases, {datapath_speedup:.2f}x on the datapath phase"
         )
+    rollout = payload.get("rollout") or {}
+    pooled = rollout.get("pooled") or {}
+    cached = rollout.get("cached_replay") or {}
+    if pooled.get("speedup") is not None:
+        lines.append(
+            f"  rollout pool ({rollout.get('workers', '?')} workers, "
+            f"{rollout.get('start_method', '?')}): "
+            f"{pooled['speedup']:.2f}x vs sequential over "
+            f"{rollout.get('tasks', '?')} tasks, cached replay "
+            f"{cached.get('speedup', 0.0):.0f}x"
+        )
     lines.append(format_phase_table(payload.get("phases", {})))
     return "\n".join(lines)
 

@@ -25,6 +25,7 @@ orders of magnitude cheaper than re-generating or deep-copying the design.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -214,6 +215,47 @@ def _fresh_summary(netlist: Netlist, clock_period: float) -> TimingSummary:
     analyzer = TimingAnalyzer(netlist)
     clock = ClockModel.for_netlist(netlist, clock_period)
     return summarize(analyzer.analyze(clock))
+
+
+def flow_config_digest(config: FlowConfig) -> str:
+    """Stable content digest of one flow recipe (reward-cache key half).
+
+    Built from the ``repr`` of every reward-affecting field — the nested
+    configs are frozen dataclasses whose reprs are deterministic — so two
+    configs digest equal iff they run the same optimization.
+    """
+    payload = repr(
+        (
+            config.clock_period,
+            config.skew,
+            config.datapath,
+            config.final_skew_pass,
+            config.margin_mode,
+            config.incremental_sta,
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def netlist_state_digest(state: NetlistState) -> str:
+    """Stable content digest of a snapshot's *structural* fields.
+
+    The verify-mode fields are excluded: they change with observability
+    settings, not with the design, and the digest addresses design content
+    (the reward-cache key's other half).
+    """
+    payload = repr(
+        (
+            state.num_cells,
+            state.num_nets,
+            state.size_indices,
+            state.net_sinks,
+            state.cell_fanins,
+            state.cell_fanouts,
+            state.parasitic_scale,
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def snapshot_netlist_state(

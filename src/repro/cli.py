@@ -102,6 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--episodes", type=int, default=4)
     bench.add_argument("--cells", type=int, default=320)
     bench.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="rollout-pool size for the bench's sequential-vs-pooled "
+        "throughput comparison (default 4)",
+    )
+    bench.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE",
@@ -145,7 +152,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="parallel flow-evaluation workers (fork-based)",
+        help="persistent rollout-pool workers for flow-reward evaluation "
+        "(1 = sequential; see docs/rollout.md)",
+    )
+    train.add_argument(
+        "--rollout-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-task wall-clock budget in the rollout pool; a worker "
+        "exceeding it is killed, respawned and the task retried "
+        "(default 120)",
+    )
+    train.add_argument(
+        "--no-reward-cache",
+        action="store_true",
+        help="disable the content-addressed reward cache (re-sampled "
+        "trajectories then re-run the flow; rewards are identical "
+        "either way)",
     )
     train.add_argument(
         "--entropy-coef",
@@ -270,7 +294,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             return 2
 
         payload = run_bench(
-            BenchConfig(seed=args.seed, episodes=args.episodes, cells=args.cells)
+            BenchConfig(
+                seed=args.seed,
+                episodes=args.episodes,
+                cells=args.cells,
+                rollout_workers=args.workers,
+            )
         )
         if args.update_baseline:
             out = args.out or "BENCH_baseline.json"
@@ -343,6 +372,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                     max_episodes=args.episodes,
                     seed=args.seed,
                     workers=args.workers,
+                    rollout_timeout=args.rollout_timeout,
+                    reward_cache=not args.no_reward_cache,
                     entropy_coefficient=args.entropy_coef,
                 ),
                 progress=progress,

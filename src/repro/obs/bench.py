@@ -12,6 +12,10 @@ then aggregates the recorder into the ``BENCH_<sha>.json`` schema::
      "phases": {"<name>": {"count", "total_s", "median_s", "p90_s", "max_s"}},
      "sta": {"full": {...}, "incremental": {...}, "sta_speedup": ...,
              "datapath_speedup": ...},
+     "rollout": {"tasks", "workers", "start_method",
+                 "sequential"/"pooled"/"cached_replay":
+                     {"seconds", "tasks_per_second", "speedup"},
+                 "cache": {"hits", "misses", "entries"}},
      "total_seconds": <wall>}
 
 ``metrics``/``counters``/``design`` are deterministic for a fixed seed;
@@ -23,6 +27,7 @@ fails) beyond the tolerance, because shared runners are noisy.
 from __future__ import annotations
 
 import datetime
+import gc
 import json
 import os
 import platform
@@ -50,12 +55,21 @@ class BenchConfig:
     episodes: int = 4
     cells: int = 320
     violating_fraction: float = 0.4
+    #: Pool size for the sequential-vs-pooled rollout throughput section.
+    rollout_workers: int = 4
+    #: Flow evaluations timed per rollout engine (sequential / pooled /
+    #: cached replay).
+    rollout_tasks: int = 6
 
     def __post_init__(self) -> None:
         if self.episodes < 1:
             raise ValueError("episodes must be >= 1")
         if self.cells < 50:
             raise ValueError("cells must be >= 50 for a meaningful workload")
+        if self.rollout_workers < 1:
+            raise ValueError("rollout_workers must be >= 1")
+        if self.rollout_tasks < 1:
+            raise ValueError("rollout_tasks must be >= 1")
 
 
 @dataclass
@@ -156,6 +170,7 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         restore_netlist_state(netlist, workload.snapshot)
 
         sta_compare = _compare_sta_engines(workload)
+        rollout_compare = _compare_rollout_engines(workload, config)
 
         state = obs.get_recorder().export_state()
         total = watch.elapsed
@@ -188,6 +203,7 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         "counters": {k: v for k, v in sorted(state["counters"].items())},
         "phases": aggregate_phases(state["phases"]),
         "sta": sta_compare,
+        "rollout": rollout_compare,
         "total_seconds": total,
         "host": {
             "python": platform.python_version(),
@@ -242,6 +258,86 @@ def _compare_sta_engines(workload: Workload) -> Dict[str, Any]:
             out["full"][field] / denominator if denominator > 0 else None
         )
     return out
+
+
+def _compare_rollout_engines(
+    workload: Workload, config: BenchConfig
+) -> Dict[str, Any]:
+    """Time the same fixed selection batch through the three rollout paths.
+
+    Returns the ``"rollout"`` section of the BENCH payload: sequential
+    in-process evaluation, the persistent :class:`RolloutPool` (cold
+    cache), and a cached replay through the same pool, each with tasks/s
+    and speedup vs sequential.  The three reward lists are asserted equal —
+    the bench doubles as a determinism check.  Wall-clock only:
+    :func:`strip_timing` drops the section.
+    """
+    from repro.agent.baselines import select_worst_slack
+    from repro.agent.parallel import RewardCache, RolloutPool, evaluate_selections
+
+    env = workload.env
+    selections = [
+        select_worst_slack(env, 1 + (k % env.num_endpoints))
+        for k in range(config.rollout_tasks)
+    ]
+
+    watch = obs.Stopwatch()
+    sequential_rewards = evaluate_selections(
+        workload.netlist,
+        workload.flow_config,
+        selections,
+        workers=1,
+        snapshot=workload.snapshot,
+    )
+    sequential_s = watch.elapsed
+
+    cache = RewardCache.for_context(workload.snapshot, workload.flow_config)
+    with RolloutPool(
+        workload.netlist,
+        workload.flow_config,
+        workers=config.rollout_workers,
+        snapshot=workload.snapshot,
+        cache=cache,
+    ) as pool:
+        watch.restart()
+        pooled_rewards = pool.evaluate(selections)
+        pooled_s = watch.elapsed
+        watch.restart()
+        cached_rewards = pool.evaluate(selections)
+        cached_s = watch.elapsed
+        stats = pool.stats()
+    if not (sequential_rewards == pooled_rewards == cached_rewards):
+        raise RuntimeError(
+            "rollout engines disagree: sequential, pooled and cached replay "
+            "must produce identical FlowReward sequences"
+        )
+    # Forking workers dirties the cyclic-GC bookkeeping of the whole parent
+    # heap; collect now so a later bench in the same process doesn't pay for
+    # it inside its timed training phases.
+    gc.collect()
+
+    tasks = len(selections)
+
+    def _engine(seconds: float) -> Dict[str, Any]:
+        return {
+            "seconds": seconds,
+            "tasks_per_second": tasks / seconds if seconds > 0 else None,
+            "speedup": sequential_s / seconds if seconds > 0 else None,
+        }
+
+    return {
+        "tasks": tasks,
+        "workers": stats["workers"],
+        "start_method": stats["start_method"],
+        "sequential": _engine(sequential_s),
+        "pooled": _engine(pooled_s),
+        "cached_replay": _engine(cached_s),
+        "cache": {
+            "hits": stats["cache_hits"],
+            "misses": stats["cache_misses"],
+            "entries": stats["cache_entries"],
+        },
+    }
 
 
 def _utc_now_iso() -> str:
@@ -344,6 +440,7 @@ def strip_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
         not in (
             "phases",
             "sta",
+            "rollout",
             "total_seconds",
             "host",
             "git_sha",

@@ -64,6 +64,7 @@ def render_report(
     flows = grouped.get("flow", [])
     trains = grouped.get("train", [])
     profiles = grouped.get("profile", [])
+    rollouts = grouped.get("rollout", [])
 
     lines: List[str] = [f"# repro run report — {source}", ""]
     kinds = ", ".join(f"{kind}: {len(grouped[kind])}" for kind in sorted(grouped))
@@ -92,6 +93,8 @@ def render_report(
     else:
         lines.extend(["## Training", "", "(no episode records in this trace)", ""])
 
+    if rollouts:
+        lines.extend(_render_rollout(rollouts))
     if flows:
         lines.extend(_render_flow_phases(flows, history, last_n))
     if profiles:
@@ -223,6 +226,35 @@ def _render_selection_heat(episodes: Sequence[Mapping[str, Any]]) -> List[str]:
         rest = sum(count for _, count in ranked[len(shown):])
         lines.append(f"| …{len(ranked) - len(shown)} more | {rest} | "
                      f"{100.0 * rest / total:.1f}% | |")
+    lines.append("")
+    return lines
+
+
+def _render_rollout(rollouts: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Pool-health table from ``rollout`` run records (one per training
+    run): throughput/caching on the left, fault counters on the right."""
+    lines = ["## Rollout pool health", ""]
+    lines.append(
+        "| workers | start | tasks | cache hits | hit rate | restarts "
+        "| timeouts | crashes | corrupt | seq. fallbacks |"
+    )
+    lines.append("|---:|:---|---:|---:|---:|---:|---:|---:|---:|---:|")
+    for record in rollouts:
+        hits = int(record.get("cache_hits", 0))
+        misses = int(record.get("cache_misses", 0))
+        lookups = hits + misses
+        rate = f"{100.0 * hits / lookups:.1f}%" if lookups else "—"
+        lines.append(
+            f"| {record.get('workers', '?')} "
+            f"| {record.get('start_method', '?')} "
+            f"| {record.get('tasks', lookups)} "
+            f"| {hits} | {rate} "
+            f"| {record.get('worker_restarts', 0)} "
+            f"| {record.get('task_timeouts', 0)} "
+            f"| {record.get('worker_crashes', 0)} "
+            f"| {record.get('corrupt_results', 0)} "
+            f"| {record.get('sequential_fallbacks', 0)} |"
+        )
     lines.append("")
     return lines
 

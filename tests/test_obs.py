@@ -166,8 +166,8 @@ class TestInstrumentation:
         recorder = obs.get_recorder()
         # Both forked children's flow spans landed in the parent recorder.
         assert recorder.phases["flow.run"].count == 2
-        assert recorder.phases["agent.parallel.dispatch"].count == 1
-        assert recorder.counters["parallel.tasks"] == 2
+        assert recorder.phases["rollout.evaluate"].count == 1
+        assert recorder.counters["rollout.tasks"] == 2
         # Deterministic flows: both children saw identical reward metrics.
         assert rewards[0] == rewards[1]
 

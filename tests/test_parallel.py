@@ -1,12 +1,22 @@
-"""Tests for the parallel flow-reward evaluator."""
+"""Tests for the parallel flow-reward evaluator and rollout pool."""
 
 from __future__ import annotations
+
+import pickle
 
 import pytest
 
 from repro.agent.baselines import select_random, select_worst_slack
 from repro.agent.env import EndpointSelectionEnv
-from repro.agent.parallel import FlowReward, evaluate_selections, fork_available
+from repro.agent.parallel import (
+    FlowReward,
+    RewardCache,
+    RolloutPool,
+    _task_message,
+    evaluate_selections,
+    fork_available,
+    resolve_start_method,
+)
 from repro.ccd.flow import FlowConfig, snapshot_netlist_state
 
 
@@ -73,3 +83,133 @@ class TestEvaluateSelections:
             nl, FlowConfig(clock_period=period), selections, workers=3
         )
         assert seq == par
+
+
+class TestTaskPayload:
+    def test_task_payload_is_o_selection_not_o_netlist(self, context):
+        """Regression: the pre-pool evaluator re-pickled the whole netlist
+        into every worker task; pool tasks must stay O(selection)."""
+        nl, period, env = context
+        selection = select_worst_slack(env, 8)
+        payload = pickle.dumps(_task_message(7, 0, selection))
+        netlist_size = len(pickle.dumps(nl))
+        assert len(payload) < 512
+        assert len(payload) * 100 < netlist_size
+
+    def test_task_payload_grows_with_selection_only(self, context):
+        nl, period, env = context
+        small = len(pickle.dumps(_task_message(0, 0, select_worst_slack(env, 1))))
+        large = len(pickle.dumps(_task_message(0, 0, select_worst_slack(env, 9))))
+        # Eight more endpoints cost a few dozen bytes, not a netlist.
+        assert large - small < 256
+
+
+class TestRewardCache:
+    def test_hit_returns_stored_reward(self, context):
+        nl, period, env = context
+        config = FlowConfig(clock_period=period)
+        snapshot = snapshot_netlist_state(nl)
+        cache = RewardCache.for_context(snapshot, config)
+        selection = select_worst_slack(env, 3)
+        assert cache.get(selection) is None
+        (reward,) = evaluate_selections(
+            nl, config, [selection], workers=1, snapshot=snapshot, cache=cache
+        )
+        assert cache.get(selection) == reward
+        assert cache.hits == 1 and cache.misses == 2
+
+    def test_cached_rewards_identical_to_recompute(self, context):
+        nl, period, env = context
+        config = FlowConfig(clock_period=period)
+        snapshot = snapshot_netlist_state(nl)
+        cache = RewardCache.for_context(snapshot, config)
+        selections = [select_worst_slack(env, k) for k in (0, 2, 4)]
+        first = evaluate_selections(
+            nl, config, selections, workers=1, snapshot=snapshot, cache=cache
+        )
+        replay = evaluate_selections(
+            nl, config, selections, workers=1, snapshot=snapshot, cache=cache
+        )
+        uncached = evaluate_selections(
+            nl, config, selections, workers=1, snapshot=snapshot
+        )
+        assert pickle.dumps(first) == pickle.dumps(replay) == pickle.dumps(uncached)
+        assert cache.hits == len(selections)
+
+    def test_key_distinguishes_selection_order(self, context):
+        nl, period, env = context
+        snapshot = snapshot_netlist_state(nl)
+        cache = RewardCache.for_context(snapshot, FlowConfig(clock_period=period))
+        a, b = env.endpoints[0], env.endpoints[1]
+        assert cache.key([a, b]) != cache.key([b, a])
+
+    def test_key_distinguishes_flow_config(self, context):
+        nl, period, env = context
+        snapshot = snapshot_netlist_state(nl)
+        one = RewardCache.for_context(snapshot, FlowConfig(clock_period=period))
+        two = RewardCache.for_context(
+            snapshot, FlowConfig(clock_period=period, final_skew_pass=False)
+        )
+        selection = select_worst_slack(env, 2)
+        assert one.key(selection) != two.key(selection)
+
+    def test_fifo_eviction_bounds_entries(self, context):
+        nl, period, env = context
+        snapshot = snapshot_netlist_state(nl)
+        cache = RewardCache.for_context(
+            snapshot, FlowConfig(clock_period=period), max_entries=2
+        )
+        reward = FlowReward(tns=-1.0, wns=-0.5, nve=1, power_total=1.0, num_selected=1)
+        for endpoint in env.endpoints[:3]:
+            cache.put([endpoint], reward)
+        assert len(cache) == 2
+        assert cache.get([env.endpoints[0]]) is None  # evicted first-in
+
+
+class TestRolloutPool:
+    def test_sequential_degradation_without_processes(self, context):
+        nl, period, env = context
+        config = FlowConfig(clock_period=period)
+        selections = [select_worst_slack(env, k) for k in (1, 3)]
+        with RolloutPool(nl, config, workers=1) as pool:
+            assert pool.start_method is None
+            rewards = pool.evaluate(selections)
+        direct = evaluate_selections(nl, config, selections, workers=1)
+        assert rewards == direct
+
+    @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+    def test_pool_reused_across_batches(self, context):
+        nl, period, env = context
+        config = FlowConfig(clock_period=period)
+        batch1 = [select_worst_slack(env, k) for k in (1, 2)]
+        batch2 = [select_random(env, 3, rng=7), select_worst_slack(env, 4)]
+        with RolloutPool(nl, config, workers=2, start_method="fork") as pool:
+            one = pool.evaluate(batch1)
+            two = pool.evaluate(batch2)
+        assert one == evaluate_selections(nl, config, batch1, workers=1)
+        assert two == evaluate_selections(nl, config, batch2, workers=1)
+
+    def test_closed_pool_rejects_evaluate(self, context):
+        nl, period, env = context
+        pool = RolloutPool(nl, FlowConfig(clock_period=period), workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.evaluate([[]])
+
+    def test_invalid_parameters_raise(self, context):
+        nl, period, env = context
+        config = FlowConfig(clock_period=period)
+        with pytest.raises(ValueError):
+            RolloutPool(nl, config, workers=0)
+        with pytest.raises(ValueError):
+            RolloutPool(nl, config, workers=1, task_timeout=0.0)
+
+    def test_unknown_start_method_degrades_to_sequential(self, context):
+        nl, period, env = context
+        assert resolve_start_method("not-a-method") is None
+        with RolloutPool(
+            nl, FlowConfig(clock_period=period), workers=4, start_method="not-a-method"
+        ) as pool:
+            assert pool.start_method is None
+            (reward,) = pool.evaluate([select_worst_slack(env, 2)])
+        assert isinstance(reward, FlowReward)

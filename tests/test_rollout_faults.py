@@ -1,0 +1,150 @@
+"""Fault-injection suite for the persistent rollout pool.
+
+Workers are deliberately killed mid-task, hung past the task timeout,
+frozen (``SIGSTOP``), or made to return corrupt results; in every case the
+pool must respawn/retry and the final reward sequence must be byte-identical
+to a sequential run — faults must never poison training determinism.
+
+The ``rollout-faults`` CI job runs this file under both ``fork`` and
+``spawn`` (via ``REPRO_ROLLOUT_START_METHOD``); locally, with the variable
+unset, each test parametrizes over every available start method.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.agent.baselines import select_worst_slack
+from repro.agent.env import EndpointSelectionEnv
+from repro.agent.parallel import (
+    START_METHOD_ENV_VAR,
+    RolloutPool,
+    evaluate_selections,
+    fork_available,
+)
+from repro.ccd.flow import FlowConfig, snapshot_netlist_state
+
+_FORCED = os.environ.get(START_METHOD_ENV_VAR, "").strip()
+START_METHODS = [_FORCED] if _FORCED else (
+    (["fork"] if fork_available() else []) + ["spawn"]
+)
+
+#: Fault-test pools keep timeouts short so an injected hang costs ~a
+#: second, not the production default.
+FAST = dict(
+    task_timeout=2.0,
+    heartbeat_timeout=1.0,
+    backoff_base=0.01,
+    max_retries=2,
+    max_worker_restarts=4,
+)
+
+
+@pytest.fixture(scope="module")
+def context(small_design):
+    nl, period = small_design
+    env = EndpointSelectionEnv(nl, period)
+    config = FlowConfig(clock_period=period)
+    selections = [select_worst_slack(env, k) for k in (1, 2, 3, 4)]
+    sequential = evaluate_selections(nl, config, selections, workers=1)
+    return nl, config, selections, sequential
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+class TestFaultInjection:
+    def test_crash_hang_and_corrupt_are_retried(self, context, method):
+        """One worker killed mid-task, one hung past the deadline, one
+        returning garbage: every task retries and rewards stay identical."""
+        nl, config, selections, sequential = context
+        faults = {(0, 0): "crash", (1, 0): "hang", (2, 0): "corrupt"}
+        with RolloutPool(
+            nl,
+            config,
+            workers=2,
+            start_method=method,
+            fault_spec=faults,
+            **FAST,
+        ) as pool:
+            rewards = pool.evaluate(selections)
+            stats = pool.stats()
+        assert pickle.dumps(rewards) == pickle.dumps(sequential)
+        assert stats["worker_restarts"] >= 3
+        assert stats["task_timeouts"] >= 1
+        assert stats["corrupt_results"] >= 1
+        assert stats["worker_crashes"] >= 1
+
+    def test_exhausted_retries_fall_back_to_sequential(self, context, method):
+        """A task that fails on every attempt is finished in-process —
+        results are always produced, never dropped."""
+        nl, config, selections, sequential = context
+        faults = {(1, attempt): "crash" for attempt in range(10)}
+        with RolloutPool(
+            nl,
+            config,
+            workers=2,
+            start_method=method,
+            fault_spec=faults,
+            **FAST,
+        ) as pool:
+            rewards = pool.evaluate(selections)
+            stats = pool.stats()
+        assert pickle.dumps(rewards) == pickle.dumps(sequential)
+        assert stats["sequential_fallbacks"] >= 1
+        assert stats["worker_restarts"] >= 1
+
+    def test_repeated_batches_survive_first_batch_faults(self, context, method):
+        """A pool that weathered faults keeps serving later batches."""
+        nl, config, selections, sequential = context
+        with RolloutPool(
+            nl,
+            config,
+            workers=2,
+            start_method=method,
+            fault_spec={(0, 0): "crash"},
+            **FAST,
+        ) as pool:
+            first = pool.evaluate(selections)
+            second = pool.evaluate(selections)
+        assert pickle.dumps(first) == pickle.dumps(sequential)
+        assert pickle.dumps(second) == pickle.dumps(sequential)
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+def test_heartbeat_detects_frozen_worker(context):
+    """A SIGSTOPped worker stops heartbeating and is replaced well before
+    the (long) task timeout would fire."""
+    nl, config, selections, sequential = context
+    with RolloutPool(
+        nl,
+        config,
+        workers=1,
+        start_method="fork",
+        task_timeout=60.0,
+        heartbeat_timeout=0.5,
+        backoff_base=0.01,
+    ) as pool:
+        # Wait for the first heartbeat (it implies the ready handshake is
+        # already in the pipe), then freeze the worker under the pool's nose.
+        deadline = time.monotonic() + 10.0
+        while pool._slots[0].heartbeat.value == 0.0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        victim = pool._slots[0].process
+        os.kill(victim.pid, signal.SIGSTOP)
+        try:
+            watch = time.monotonic()
+            rewards = pool.evaluate(selections[:2])
+            elapsed = time.monotonic() - watch
+            stats = pool.stats()
+        finally:
+            try:
+                os.kill(victim.pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+    assert pickle.dumps(rewards) == pickle.dumps(sequential[:2])
+    assert stats["worker_restarts"] >= 1
+    assert elapsed < 30.0  # heartbeat fired, not the 60s task timeout
