@@ -123,14 +123,24 @@ class EndpointSelectionEnv:
         return self.state
 
     def features(self) -> np.ndarray:
-        """Current feature matrix (column 0 = selected ∪ masked cells)."""
+        """Current feature matrix (column 0 = selected ∪ masked cells).
+
+        Returns a **copy** of the env-owned base matrix: steps of one
+        episode must not alias each other's arrays, because each step's
+        feature matrix stays referenced by that step's autograd tape until
+        the REINFORCE update (mutating a shared array in place would make
+        every step's backward read the *final* mask column).
+        """
         if self.state is None:
             raise RuntimeError("call reset() before features()")
         flagged = [
             self.endpoints[p]
             for p in list(self.state.masked) + self.state.selected
         ]
-        return self.extractor.update_mask_column(self._base_features, flagged)
+        return np.array(
+            self.extractor.update_mask_column(self._base_features, flagged),
+            copy=True,
+        )
 
     def step(self, position: int) -> SelectionState:
         """Select endpoint at canonical ``position``; apply overlap masking."""

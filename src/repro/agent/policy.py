@@ -24,13 +24,15 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.agent.env import EndpointSelectionEnv
+from repro.gnn import incremental as gnn_incremental
 from repro.gnn.epgnn import EMBED_DIM, EPGNN
 from repro.nn.attention import PointerAttention, logit_stats
-from repro.nn.functional import masked_log_prob
+from repro.nn.functional import entropy, masked_log_prob, masked_softmax
 from repro.nn.layers import Module
 from repro.nn.recurrent import LSTMCell
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, stack
 from repro.obs import telemetry as obs_telemetry
 from repro.utils.rng import SeedLike, as_rng
 
@@ -52,13 +54,14 @@ class Trajectory:
         return len(self.actions)
 
     def total_log_prob(self) -> Tensor:
-        """Σ_t log π(a_t | s_t) as a single differentiable scalar."""
+        """Σ_t log π(a_t | s_t) as a single differentiable scalar.
+
+        One ``stack(...).sum()`` node pair on the tape instead of O(T)
+        chained ``+`` nodes, so the backward walk stays O(1) per trajectory.
+        """
         if not self.log_probs:
             raise ValueError("empty trajectory has no log-probability")
-        total = self.log_probs[0]
-        for lp in self.log_probs[1:]:
-            total = total + lp
-        return total
+        return stack(self.log_probs).sum()
 
     def total_entropy(self) -> Tensor:
         """Σ_t H(P_t) — available when the rollout recorded entropies."""
@@ -66,10 +69,7 @@ class Trajectory:
             raise ValueError(
                 "rollout was not run with with_entropy=True; no entropy terms"
             )
-        total = self.entropies[0]
-        for h in self.entropies[1:]:
-            total = total + h
-        return total
+        return stack(self.entropies).sum()
 
 
 class RLCCDPolicy(Module):
@@ -106,6 +106,28 @@ class RLCCDPolicy(Module):
         self.decoder = self.register_module(
             "decoder", PointerAttention(embed_dim, lstm_hidden, attn_hidden, rng=rng)
         )
+        # Incremental EP-GNN session, lazily built per environment and
+        # reused across rollouts (the reverse adjacency and endpoint lookup
+        # are episode-invariant); see repro.gnn.incremental / docs/policy.md.
+        self._session: Optional[gnn_incremental.EncoderSession] = None
+
+    def encoder_session(
+        self, env: EndpointSelectionEnv
+    ) -> gnn_incremental.EncoderSession:
+        """The cached :class:`~repro.gnn.incremental.EncoderSession` for
+        ``env`` (rebuilt if the environment changed under us)."""
+        session = self._session
+        if (
+            session is None
+            or session.graph is not env.graph
+            or session.cones is not env.cones
+            or session.gnn is not self.epgnn
+        ):
+            session = gnn_incremental.EncoderSession(
+                self.epgnn, env.graph, env.cones, netlist=env.netlist
+            )
+            self._session = session
+        return session
 
     def rollout(
         self,
@@ -114,14 +136,28 @@ class RLCCDPolicy(Module):
         greedy: bool = False,
         max_steps: Optional[int] = None,
         with_entropy: bool = False,
+        incremental: Optional[bool] = None,
     ) -> Trajectory:
         """Run one full selection episode (Algorithm 1 lines 3–13).
 
         ``with_entropy=True`` additionally records tape-connected policy
         entropies per step (for entropy-regularized training).
+
+        ``incremental`` selects the EP-GNN re-encode engine for this episode:
+        ``None`` follows the global switch
+        (:func:`repro.gnn.incremental.incremental_enabled`, i.e.
+        ``REPRO_GNN_INCREMENTAL`` / ``--no-incremental-gnn``), ``True``/
+        ``False`` force the incremental or full engine.  Both engines sample
+        identical trajectories; the incremental one only re-encodes the
+        dirty region around newly masked cells each step.
         """
         rng = as_rng(rng)
+        if incremental is None:
+            incremental = gnn_incremental.incremental_enabled()
+        session = self.encoder_session(env) if incremental else None
         state = env.reset()
+        if session is not None:
+            session.begin_episode()
         trajectory = Trajectory()
         trajectory.telemetry = collector = obs_telemetry.for_rollout()
         h, c = self.encoder.initial_state()
@@ -129,11 +165,16 @@ class RLCCDPolicy(Module):
         step_limit = max_steps if max_steps is not None else env.num_endpoints
 
         while not state.done and len(trajectory) < step_limit:
-            features = env.features()
-            embeddings = self.epgnn(features, env.graph, env.cones)
-            h, c = self.encoder(prev_embedding, (h, c))
-            scores = self.decoder.scores(embeddings, h)
-            probs = _masked_probabilities(scores.data, state.valid)
+            with obs.span("policy.step"):
+                features = env.features()
+                if session is not None:
+                    embeddings = session.encode(features)
+                else:
+                    embeddings = self.epgnn(features, env.graph, env.cones)
+                    obs.incr("gnn.full_encode")
+                h, c = self.encoder(prev_embedding, (h, c))
+                scores = self.decoder.scores(embeddings, h)
+                probs = _masked_probabilities(scores.data, state.valid)
             if greedy:
                 action = int(np.argmax(np.where(state.valid, probs, -1.0)))
             else:
@@ -146,8 +187,6 @@ class RLCCDPolicy(Module):
             trajectory.log_probs.append(log_prob)
             trajectory.probabilities.append(probs)
             if with_entropy:
-                from repro.nn.functional import entropy, masked_softmax
-
                 trajectory.entropies.append(
                     entropy(masked_softmax(scores, state.valid))
                 )

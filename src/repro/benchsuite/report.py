@@ -176,6 +176,20 @@ def format_bench(payload: Mapping) -> str:
             f"{rollout.get('tasks', '?')} tasks, cached replay "
             f"{cached.get('speedup', 0.0):.0f}x"
         )
+    policy = payload.get("policy") or {}
+    if policy.get("incremental_speedup") is not None:
+        combined = policy.get("combined_speedup")
+        combined_note = (
+            f"{combined:.2f}x" if combined is not None else "n/a"
+        )
+        lines.append(
+            f"  policy evaluation vs pre-optimization loop: {combined_note} "
+            f"per-step median over {policy.get('steps', '?')} greedy steps "
+            f"({policy.get('endpoints', '?')} endpoints) — incremental "
+            f"EP-GNN vs full re-encode "
+            f"{policy['incremental_speedup']:.2f}x, CSR cone pooling vs "
+            f"loop {policy.get('pooling_speedup', 0.0):.2f}x"
+        )
     lines.append(format_phase_table(payload.get("phases", {})))
     return "\n".join(lines)
 

@@ -24,7 +24,9 @@ Global observability flags (before the subcommand):
 * ``--profile`` — additionally wrap the command in cProfile + tracemalloc
   and append one ``profile`` record to the trace (requires a trace sink);
 * ``--no-incremental-sta`` — force full STA recomputes everywhere (same as
-  ``REPRO_STA_INCREMENTAL=0``; see ``docs/timing.md``).
+  ``REPRO_STA_INCREMENTAL=0``; see ``docs/timing.md``);
+* ``--no-incremental-gnn`` — force full EP-GNN re-encodes in every rollout
+  (same as ``REPRO_GNN_INCREMENTAL=0``; see ``docs/policy.md``).
 """
 
 from __future__ import annotations
@@ -65,6 +67,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="force every timing analysis down the full-recompute path "
         "(same effect as REPRO_STA_INCREMENTAL=0; for A/B timing runs "
         "and debugging suspected incremental-STA drift)",
+    )
+    parser.add_argument(
+        "--no-incremental-gnn",
+        action="store_true",
+        help="force every policy rollout down the full EP-GNN re-encode "
+        "path (same effect as REPRO_GNN_INCREMENTAL=0; for A/B runs and "
+        "debugging suspected incremental-encode drift)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -230,6 +239,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         incremental.set_incremental(False)
         log.info("incremental STA disabled for this invocation")
+
+    if args.no_incremental_gnn:
+        from repro.gnn import incremental as gnn_incremental
+
+        gnn_incremental.set_incremental(False)
+        log.info("incremental EP-GNN encoding disabled for this invocation")
 
     if args.profile:
         if not obs.tracing():

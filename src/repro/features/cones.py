@@ -23,6 +23,9 @@ from repro import obs
 from repro.netlist.core import Netlist
 from repro.utils.validation import check_probability
 
+#: Bit-population count per byte value, for popcount over packed cone bitsets.
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+
 
 def fanin_cone(netlist: Netlist, endpoint: int) -> FrozenSet[int]:
     """Combinational cells in ``endpoint``'s fan-in cone (endpoint excluded).
@@ -44,7 +47,25 @@ def fanin_cone(netlist: Netlist, endpoint: int) -> FrozenSet[int]:
 
 
 class ConeIndex:
-    """Precomputed cones for all endpoints plus overlap/masking queries."""
+    """Precomputed cones for all endpoints plus overlap/masking queries.
+
+    Alongside the original list-of-frozenset API (``cones``, ``cone_of``)
+    the constructor precomputes three vectorized views used by the hot
+    paths:
+
+    * **per-endpoint index arrays** (``cone_array``) — sorted ``int64``
+      member arrays, so no forward pass ever rebuilds an index with
+      ``np.fromiter``;
+    * **a flattened CSR cone index** (``cone_indptr`` / ``cone_members``)
+      — the Eq.-3 pooling of :class:`repro.gnn.epgnn.EPGNN` runs as one
+      differentiable segment-sum over it, and the inverse CSR
+      (:meth:`endpoints_touching`) answers "which endpoints' receptive
+      fields contain these cells" for the incremental encoder;
+    * **packed bitsets** (``np.packbits`` rows over all cells) — overlap
+      ratios are popcounts of ANDed rows instead of per-candidate Python
+      set intersections.  Counts are exact integers, so the ratios are
+      bitwise identical to the set-based ones.
+    """
 
     def __init__(self, netlist: Netlist, endpoints: Sequence[int]):
         self.netlist = netlist
@@ -54,7 +75,60 @@ class ConeIndex:
             self.cones: List[FrozenSet[int]] = [
                 fanin_cone(netlist, e) for e in self.endpoints
             ]
+            self._build_vectorized(netlist.num_cells)
         obs.incr("cones.extracted", len(self.cones))
+
+    def _build_vectorized(self, num_cells: int) -> None:
+        """Build the CSR, inverse-CSR and bitset views of ``self.cones``."""
+        self._num_cells = num_cells
+        self._arrays: List[np.ndarray] = [
+            np.sort(np.fromiter(c, dtype=np.int64, count=len(c)))
+            for c in self.cones
+        ]
+        sizes = np.array([a.size for a in self._arrays], dtype=np.int64)
+        self._sizes = sizes
+        self.cone_indptr = np.concatenate(
+            [[0], np.cumsum(sizes)]
+        ).astype(np.int64)
+        self.cone_members = (
+            np.concatenate(self._arrays)
+            if self._arrays and self.cone_indptr[-1] > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        # Inverse CSR: cell -> endpoint positions whose cone contains it.
+        order = np.argsort(self.cone_members, kind="stable")
+        owner = np.repeat(np.arange(len(self.endpoints), dtype=np.int64), sizes)
+        self._touch_positions = owner[order]
+        member_counts = np.bincount(self.cone_members, minlength=num_cells)
+        self._touch_indptr = np.concatenate(
+            [[0], np.cumsum(member_counts)]
+        ).astype(np.int64)
+        # Packed bitsets: row e has bit c set iff cell c is in cone(e).
+        bits = np.zeros((len(self.endpoints), num_cells), dtype=np.uint8)
+        if self.cone_members.size:
+            bits[owner, self.cone_members] = 1
+        self._bits = np.packbits(bits, axis=1)
+
+    def cone_array(self, position: int) -> np.ndarray:
+        """Sorted ``int64`` member array of the cone at canonical ``position``."""
+        return self._arrays[position]
+
+    def endpoints_touching(self, cells: np.ndarray) -> np.ndarray:
+        """Sorted unique endpoint positions whose cone contains any of ``cells``."""
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self._touch_indptr[cells]
+        counts = self._touch_indptr[cells + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(np.cumsum(counts) - counts, counts)
+            + np.repeat(starts, counts)
+        )
+        return np.unique(self._touch_positions[flat])
 
     def __len__(self) -> int:
         return len(self.endpoints)
@@ -69,23 +143,30 @@ class ConeIndex:
 
     def overlap_ratio(self, selected: int, candidate: int) -> float:
         """``|cone(sel) ∩ cone(cand)| / |cone(cand)|`` (0 if cand cone empty)."""
-        cone_sel = self.cone_of(selected)
-        cone_cand = self.cone_of(candidate)
-        if not cone_cand:
+        pos_sel = self._position[selected]
+        pos_cand = self._position[candidate]
+        size_cand = int(self._sizes[pos_cand])
+        if size_cand == 0:
             return 0.0
-        return len(cone_sel & cone_cand) / len(cone_cand)
+        inter = int(
+            _POPCOUNT[np.bitwise_and(self._bits[pos_sel], self._bits[pos_cand])].sum()
+        )
+        return inter / size_cand
 
     def overlap_ratios(self, selected: int) -> np.ndarray:
         """Overlap ratio of every endpoint against ``selected``.
 
         The selected endpoint's own entry is 1.0 when its cone is non-empty
-        (it fully overlaps itself) and 0.0 otherwise.
+        (it fully overlaps itself) and 0.0 otherwise.  One vectorized
+        popcount over the packed bitset matrix; intersection counts are
+        exact integers, so the result is bitwise identical to the original
+        per-candidate set intersections.
         """
-        cone_sel = self.cone_of(selected)
+        sel_row = self._bits[self._position[selected]]
+        counts = _POPCOUNT[np.bitwise_and(self._bits, sel_row[None, :])].sum(axis=1)
         ratios = np.zeros(len(self.endpoints))
-        for i, cone in enumerate(self.cones):
-            if cone:
-                ratios[i] = len(cone_sel & cone) / len(cone)
+        nonempty = self._sizes > 0
+        ratios[nonempty] = counts[nonempty] / self._sizes[nonempty]
         return ratios
 
     def mask_after_selection(

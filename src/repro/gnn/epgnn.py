@@ -36,7 +36,7 @@ from repro import obs
 from repro.features.cones import ConeIndex
 from repro.netlist.transform import MessagePassingGraph
 from repro.nn.layers import Linear, Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, segment_sum
 from repro.utils.rng import SeedLike, as_rng
 
 HIDDEN_DIM = 32
@@ -79,17 +79,9 @@ def _mean_aggregate(features: Tensor, graph: MessagePassingGraph) -> Tensor:
     return summed * Tensor(1.0 / degree)
 
 
-def _segment_sum(rows: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
-    """Sum ``rows`` grouped by ``segments`` (differentiable)."""
-    segments = np.asarray(segments, dtype=np.int64)
-
-    def backward(grad: np.ndarray) -> None:
-        if rows.requires_grad:
-            rows._accumulate(grad[segments])
-
-    data = np.zeros((num_segments, rows.shape[1]))
-    np.add.at(data, segments, rows.data)
-    return Tensor._make(data, (rows,), backward)
+# Re-exported for backward compatibility; the differentiable segment-sum now
+# lives in :mod:`repro.nn.tensor` where the incremental encoder shares it.
+_segment_sum = segment_sum
 
 
 class EPGNN(Module):
@@ -122,6 +114,10 @@ class EPGNN(Module):
             self.register_module(f"conv{i}", layer)
             self.layers.append(layer)
         self.fc = self.register_module("fc", Linear(hidden_dim, embed_dim, rng=rng))
+        # Cone-pooling strategy: "csr" (one flattened segment-sum over the
+        # ConeIndex CSR, the default) or "loop" (the original per-endpoint
+        # Python loop, kept for the bench comparison and equivalence tests).
+        self.pooling = "csr"
 
     def gamma_values(self) -> List[float]:
         """Per-layer mixing coefficients γ ∈ (0, 1), outermost layer first.
@@ -151,19 +147,46 @@ class EPGNN(Module):
         """Endpoint embeddings ``F_EP`` per Eq. 3 (num_endpoints × embed_dim)."""
         with obs.span("gnn.forward"):
             nodes = self.node_embeddings(features, graph)
-            pooled_rows = []
-            for endpoint, cone in zip(cones.endpoints, cones.cones):
-                own = nodes[endpoint]
-                if cone:
-                    cone_sum = nodes.gather_rows(
-                        np.fromiter(cone, dtype=np.int64, count=len(cone))
-                    ).sum(axis=0)
-                    pooled_rows.append(own + cone_sum)
-                else:
-                    pooled_rows.append(own)
-            from repro.nn.tensor import stack
-
-            pooled = stack(pooled_rows, axis=0)
+            if self.pooling == "loop":
+                pooled = self._pool_loop(nodes, cones)
+            else:
+                pooled = self.endpoint_pool(nodes, cones)
             result = self.fc(pooled)
         obs.incr("gnn.forward_passes")
         return result
+
+    def endpoint_pool(self, nodes: Tensor, cones: ConeIndex) -> Tensor:
+        """Eq.-3 pooling ``f_e + Σ_{j∈cone(e)} f_j`` as one segment-sum.
+
+        Uses the flattened CSR cone index built once by
+        :class:`~repro.features.cones.ConeIndex` — no per-endpoint Python
+        loop, no ``np.fromiter``.  Cone members are summed in their sorted
+        CSR order, the order the incremental encoder mirrors row for row.
+        """
+        endpoint_rows = nodes.gather_rows(
+            np.asarray(cones.endpoints, dtype=np.int64)
+        )
+        if cones.cone_members.size == 0:
+            return endpoint_rows
+        seg = np.repeat(
+            np.arange(len(cones.endpoints), dtype=np.int64),
+            np.diff(cones.cone_indptr),
+        )
+        cone_sums = segment_sum(
+            nodes.gather_rows(cones.cone_members), seg, len(cones.endpoints)
+        )
+        return endpoint_rows + cone_sums
+
+    def _pool_loop(self, nodes: Tensor, cones: ConeIndex) -> Tensor:
+        """The original per-endpoint pooling loop (bench/equivalence reference)."""
+        from repro.nn.tensor import stack
+
+        pooled_rows = []
+        for position, endpoint in enumerate(cones.endpoints):
+            own = nodes[endpoint]
+            members = cones.cone_array(position)
+            if members.size:
+                pooled_rows.append(own + nodes.gather_rows(members).sum(axis=0))
+            else:
+                pooled_rows.append(own)
+        return stack(pooled_rows, axis=0)

@@ -442,6 +442,79 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(np.stack([t.data for t in tensors], axis=axis), tensors, backward)
 
 
+def segment_sum(rows: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+    """Sum ``rows`` grouped by ``segments`` (differentiable).
+
+    ``segments[i]`` names the output row that input row ``i`` accumulates
+    into; empty segments yield zero rows.  The summation order within a
+    segment is the input order, so two calls with identically ordered rows
+    produce bitwise-identical sums — the property the incremental EP-GNN
+    encoder relies on to mirror the full pass (see ``docs/policy.md``).
+    """
+    rows = as_tensor(rows)
+    segments = np.asarray(segments, dtype=np.int64)
+
+    def backward(grad: np.ndarray) -> None:
+        if rows.requires_grad:
+            rows._accumulate(grad[segments])
+
+    data = np.zeros((num_segments, rows.shape[1]))
+    np.add.at(data, segments, rows.data)
+    return Tensor._make(data, (rows,), backward)
+
+
+def outer(column: np.ndarray, row: Tensor) -> Tensor:
+    """Differentiable rank-1 product ``column[:, None] * row[None, :]``.
+
+    ``column`` is a plain (constant) 1-D numpy vector; ``row`` is a 1-D
+    tensor.  The gradient w.r.t. ``row`` is ``columnᵀ @ grad``.  This is the
+    rank-1 masked-column update of the incremental EP-GNN encoder.
+    """
+    column = np.asarray(column, dtype=np.float64)
+    row = as_tensor(row)
+    if column.ndim != 1 or row.ndim != 1:
+        raise ValueError("outer() expects a 1-D column and a 1-D row")
+
+    def backward(grad: np.ndarray) -> None:
+        if row.requires_grad:
+            row._accumulate(column @ grad)
+
+    return Tensor._make(np.multiply.outer(column, row.data), (row,), backward)
+
+
+def scatter_rows(base: Tensor, indices: np.ndarray, rows: Tensor) -> Tensor:
+    """Copy of ``base`` with ``rows`` written at ``indices`` (differentiable).
+
+    The backward routes the upstream gradient per row: rows named by
+    ``indices`` flow to ``rows``, every other row flows to ``base`` — the
+    replaced base rows receive **no** gradient because the output does not
+    depend on them.  ``indices`` must be unique; duplicate targets would
+    make the forward order-dependent.
+    """
+    base = as_tensor(base)
+    rows = as_tensor(rows)
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1:
+        raise ValueError("scatter_rows() expects a 1-D index array")
+    if rows.shape != (indices.size,) + base.shape[1:]:
+        raise ValueError(
+            f"rows shape {rows.shape} incompatible with base {base.shape} "
+            f"at {indices.size} indices"
+        )
+
+    def backward(grad: np.ndarray) -> None:
+        if rows.requires_grad:
+            rows._accumulate(grad[indices])
+        if base.requires_grad:
+            keep = np.array(grad, dtype=np.float64, copy=True)
+            keep[indices] = 0.0
+            base._accumulate(keep)
+
+    data = np.array(base.data, copy=True)
+    data[indices] = rows.data
+    return Tensor._make(data, (base, rows), backward)
+
+
 def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Differentiable select: ``condition`` is a plain boolean array."""
     condition = np.asarray(condition, dtype=bool)

@@ -16,6 +16,10 @@ then aggregates the recorder into the ``BENCH_<sha>.json`` schema::
                  "sequential"/"pooled"/"cached_replay":
                      {"seconds", "tasks_per_second", "speedup"},
                  "cache": {"hits", "misses", "entries"}},
+     "policy": {"steps", "endpoints",
+                "full_loop"/"full"/"incremental":
+                    {"seconds", "step_median_s", "step_p90_s"},
+                "incremental_speedup", "pooling_speedup"},
      "total_seconds": <wall>}
 
 ``metrics``/``counters``/``design`` are deterministic for a fixed seed;
@@ -171,6 +175,7 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
 
         sta_compare = _compare_sta_engines(workload)
         rollout_compare = _compare_rollout_engines(workload, config)
+        policy_compare = _compare_policy_engines(workload)
 
         state = obs.get_recorder().export_state()
         total = watch.elapsed
@@ -204,6 +209,7 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         "phases": aggregate_phases(state["phases"]),
         "sta": sta_compare,
         "rollout": rollout_compare,
+        "policy": policy_compare,
         "total_seconds": total,
         "host": {
             "python": platform.python_version(),
@@ -340,6 +346,107 @@ def _compare_rollout_engines(
     }
 
 
+def _compare_policy_engines(workload: Workload) -> Dict[str, Any]:
+    """Time the same greedy selection episode through three policy engines.
+
+    Returns the ``"policy"`` section of the BENCH payload: per-step
+    evaluation latency (the ``policy.step`` recorder phase) for
+
+    * ``full_loop`` — full EP-GNN re-encode with the original per-endpoint
+      cone-pooling Python loop,
+    * ``full`` — full re-encode with the vectorized CSR segment-sum pooling,
+    * ``incremental`` — the dirty-region incremental encoder
+      (:mod:`repro.gnn.incremental`),
+
+    plus ``combined_speedup`` (the headline: the incremental + CSR-pooled
+    engine against the pre-optimization full-loop evaluation) and its two
+    factors ``incremental_speedup`` (full vs. incremental medians) and
+    ``pooling_speedup`` (loop vs. CSR medians).
+    Each engine replays the identical greedy episode several times and the
+    medians pool every step, so one noisy step can't swing them;
+    ``seconds`` is the per-episode average.  All three engines must pick
+    the identical greedy trajectory — the bench doubles as an equivalence
+    check.  Wall-clock only: :func:`strip_timing` drops the section.
+    """
+
+    env = workload.env
+    policy = workload.policy
+
+    def step_durations() -> List[float]:
+        stats = obs.get_recorder().phases.get("policy.step")
+        return list(stats.durations) if stats is not None else []
+
+    engines = (
+        ("full_loop", False, "loop"),
+        ("full", False, "csr"),
+        ("incremental", True, "csr"),
+    )
+    # The greedy episode is short (a handful of steps), so a single pass
+    # yields a median over too few samples to be stable against scheduler
+    # noise; repeat the identical episode and pool every step duration.
+    repeats = 3
+    out: Dict[str, Any] = {}
+    actions: Dict[str, List[int]] = {}
+    for key, use_incremental, pooling in engines:
+        previous_pooling = policy.epgnn.pooling
+        policy.epgnn.pooling = pooling
+        try:
+            # One untimed warm-up episode per engine: the first episode
+            # pays one-off costs (encoder-session build, allocator and
+            # cache warm-up) that would skew a per-step comparison.
+            policy.rollout(env, greedy=True, incremental=use_incremental)
+            before = len(step_durations())
+            watch = obs.Stopwatch()
+            for repeat in range(repeats):
+                trajectory = policy.rollout(
+                    env, greedy=True, incremental=use_incremental
+                )
+                if repeat and list(trajectory.actions) != actions[key]:
+                    raise RuntimeError(
+                        f"{key} policy engine is not deterministic: repeated "
+                        "greedy episodes picked different trajectories"
+                    )
+                actions[key] = list(trajectory.actions)
+        finally:
+            policy.epgnn.pooling = previous_pooling
+        seconds = watch.elapsed / repeats
+        durations = np.asarray(step_durations()[before:], dtype=np.float64)
+        out[key] = {
+            "seconds": seconds,
+            "step_median_s": float(np.median(durations)) if durations.size else None,
+            "step_p90_s": (
+                float(np.quantile(durations, 0.9)) if durations.size else None
+            ),
+        }
+    if not (actions["full_loop"] == actions["full"] == actions["incremental"]):
+        raise RuntimeError(
+            "policy engines disagree: full-loop, full and incremental "
+            "evaluation must pick identical greedy trajectories"
+        )
+
+    def _ratio(numerator: Optional[float], denominator: Optional[float]):
+        if numerator is None or denominator is None or denominator <= 0:
+            return None
+        return numerator / denominator
+
+    out["steps"] = len(actions["full"])
+    out["endpoints"] = env.num_endpoints
+    out["incremental_speedup"] = _ratio(
+        out["full"]["step_median_s"], out["incremental"]["step_median_s"]
+    )
+    out["pooling_speedup"] = _ratio(
+        out["full_loop"]["step_median_s"], out["full"]["step_median_s"]
+    )
+    # The headline PR number: the incremental + CSR-pooled engine against
+    # the pre-optimization evaluation (full re-encode, per-endpoint
+    # pooling loop).  incremental_speedup × pooling_speedup by
+    # construction.
+    out["combined_speedup"] = _ratio(
+        out["full_loop"]["step_median_s"], out["incremental"]["step_median_s"]
+    )
+    return out
+
+
 def _utc_now_iso() -> str:
     """Current UTC wall time, second resolution, ISO-8601 with ``Z``."""
     return (
@@ -441,6 +548,7 @@ def strip_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
             "phases",
             "sta",
             "rollout",
+            "policy",
             "total_seconds",
             "host",
             "git_sha",

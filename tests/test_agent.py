@@ -123,6 +123,32 @@ class TestPolicy:
         with pytest.raises(ValueError):
             _masked_probabilities(np.zeros(3), np.zeros(3, bool))
 
+    def test_single_valid_endpoint_gets_full_mass(self, rng):
+        scores = rng.normal(size=5)
+        valid = np.array([0, 0, 1, 0, 0], bool)
+        p = _masked_probabilities(scores, valid)
+        assert p[2] == pytest.approx(1.0)
+        assert np.all(p[~valid] == 0.0)
+        assert np.all(np.isfinite(p))
+
+    def test_extreme_logits_no_nans(self):
+        # The -inf mask shift must survive huge positive/negative scores
+        # without overflow (exp of +1e4) or NaNs (inf - inf).
+        scores = np.array([1e4, -1e4, 5e3, 0.0])
+        valid = np.array([1, 1, 0, 1], bool)
+        p = _masked_probabilities(scores, valid)
+        assert np.all(np.isfinite(p))
+        assert p.sum() == pytest.approx(1.0)
+        assert p[0] == pytest.approx(1.0)
+        assert p[2] == 0.0
+
+    def test_extreme_negative_logits_single_survivor(self):
+        scores = np.full(4, -1e308)
+        valid = np.array([0, 1, 0, 0], bool)
+        p = _masked_probabilities(scores, valid)
+        assert np.all(np.isfinite(p))
+        assert p[1] == pytest.approx(1.0)
+
     def test_rollout_completes(self, env):
         policy = RLCCDPolicy(NUM_FEATURES, rng=0)
         traj = policy.rollout(env, rng=1)

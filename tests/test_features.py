@@ -82,6 +82,55 @@ class TestConeIndex:
         for e in empties[:3]:
             assert idx.overlap_ratio(idx.endpoints[0], e) == 0.0
 
+    def test_bitset_ratios_match_set_intersections(self, index):
+        nl, idx = index
+        # The popcount/bitset path must be bitwise identical to the
+        # original per-candidate frozenset intersections, for every pair.
+        for a in idx.endpoints[:10]:
+            cone_a = idx.cone_of(a)
+            ratios = idx.overlap_ratios(a)
+            for pos, b in enumerate(idx.endpoints):
+                cone_b = idx.cone_of(b)
+                expected = (
+                    len(cone_a & cone_b) / len(cone_b) if cone_b else 0.0
+                )
+                assert ratios[pos] == expected
+                assert idx.overlap_ratio(a, b) == expected
+
+    def test_cone_arrays_match_frozensets(self, index):
+        nl, idx = index
+        for pos, cone in enumerate(idx.cones):
+            members = idx.cone_array(pos)
+            assert members.dtype == np.int64
+            assert np.all(np.diff(members) > 0)  # sorted, unique
+            assert set(members.tolist()) == set(cone)
+
+    def test_cone_csr_flattens_all_cones(self, index):
+        nl, idx = index
+        assert idx.cone_indptr.shape == (len(idx.endpoints) + 1,)
+        assert idx.cone_indptr[-1] == idx.cone_members.size
+        for pos in range(len(idx.endpoints)):
+            start, stop = idx.cone_indptr[pos], idx.cone_indptr[pos + 1]
+            assert np.array_equal(
+                idx.cone_members[start:stop], idx.cone_array(pos)
+            )
+
+    def test_endpoints_touching_inverts_membership(self, index):
+        nl, idx = index
+        some_cells = idx.cone_members[:5]
+        touched = idx.endpoints_touching(some_cells)
+        expected = {
+            pos
+            for pos, cone in enumerate(idx.cones)
+            if cone & set(some_cells.tolist())
+        }
+        assert set(touched.tolist()) == expected
+        assert np.all(np.diff(touched) > 0)
+
+    def test_endpoints_touching_empty_input(self, index):
+        nl, idx = index
+        assert idx.endpoints_touching(np.empty(0, dtype=np.int64)).size == 0
+
     def test_mask_respects_rho(self, index):
         nl, idx = index
         selected = idx.endpoints[0]

@@ -7,7 +7,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn.tensor import Tensor, concat, stack, where
+from repro.nn.tensor import (
+    Tensor,
+    concat,
+    outer,
+    scatter_rows,
+    segment_sum,
+    stack,
+    where,
+)
 
 
 def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -309,6 +317,76 @@ class TestCombinators:
         where(cond, a, b).sum().backward()
         np.testing.assert_array_equal(a.grad, [1.0, 0.0, 1.0])
         np.testing.assert_array_equal(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestSegmentOps:
+    def test_segment_sum_forward(self):
+        rows = Tensor([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        out = segment_sum(rows, np.array([0, 2, 0]), 3)
+        np.testing.assert_array_equal(
+            out.data, [[6.0, 8.0], [0.0, 0.0], [3.0, 4.0]]
+        )
+
+    def test_segment_sum_gradient(self):
+        rows = Tensor([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]], requires_grad=True)
+        out = segment_sum(rows, np.array([1, 1, 0]), 2)
+        (out * Tensor([[1.0, 1.0], [3.0, 3.0]])).sum().backward()
+        np.testing.assert_array_equal(
+            rows.grad, [[3.0, 3.0], [3.0, 3.0], [1.0, 1.0]]
+        )
+
+    def test_segment_sum_numeric_gradient(self, rng):
+        x = rng.normal(size=(5, 3))
+        seg = np.array([0, 1, 0, 2, 1])
+        check_gradient(lambda t: (segment_sum(t, seg, 3) ** 2).sum(), x)
+
+    def test_outer_forward_and_gradient(self):
+        row = Tensor([2.0, 3.0], requires_grad=True)
+        out = outer(np.array([1.0, 0.0, -2.0]), row)
+        np.testing.assert_array_equal(
+            out.data, [[2.0, 3.0], [0.0, 0.0], [-4.0, -6.0]]
+        )
+        out.sum().backward()
+        np.testing.assert_array_equal(row.grad, [-1.0, -1.0])
+
+    def test_outer_numeric_gradient(self, rng):
+        x = rng.normal(size=4)
+        col = rng.normal(size=6)
+        check_gradient(lambda t: (outer(col, t) ** 2).sum(), x)
+
+    def test_scatter_rows_forward(self):
+        base = Tensor([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        rows = Tensor([[9.0, 9.0]])
+        out = scatter_rows(base, np.array([1]), rows)
+        np.testing.assert_array_equal(
+            out.data, [[1.0, 1.0], [9.0, 9.0], [3.0, 3.0]]
+        )
+        # base untouched (functional update, not in place)
+        np.testing.assert_array_equal(base.data[1], [2.0, 2.0])
+
+    def test_scatter_rows_gradient_routing(self):
+        base = Tensor(np.ones((3, 2)), requires_grad=True)
+        rows = Tensor(np.full((1, 2), 5.0), requires_grad=True)
+        out = scatter_rows(base, np.array([2]), rows)
+        (out * Tensor([[1.0, 1.0], [2.0, 2.0], [7.0, 7.0]])).sum().backward()
+        # Overwritten base row gets zero grad; rows get the written slot's.
+        np.testing.assert_array_equal(base.grad, [[1, 1], [2, 2], [0, 0]])
+        np.testing.assert_array_equal(rows.grad, [[7.0, 7.0]])
+
+    def test_scatter_rows_numeric_gradient(self, rng):
+        indices = np.array([0, 3])
+        replacement = rng.normal(size=(2, 3))
+
+        def build_base(t):
+            return (scatter_rows(t, indices, Tensor(replacement)) ** 2).sum()
+
+        check_gradient(build_base, rng.normal(size=(5, 3)))
+        base = rng.normal(size=(5, 3))
+
+        def build_rows(t):
+            return (scatter_rows(Tensor(base), indices, t) ** 2).sum()
+
+        check_gradient(build_rows, replacement)
 
 
 class TestComposite:
