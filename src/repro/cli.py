@@ -118,6 +118,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "throughput comparison (default 4)",
     )
     bench.add_argument(
+        "--batch-episodes",
+        type=int,
+        default=8,
+        metavar="B",
+        help="stacked episodes per batched policy pass in the batch "
+        "section (default 8)",
+    )
+    bench.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE",
@@ -185,6 +193,15 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="entropy regularization coefficient (0 disables)",
+    )
+    train.add_argument(
+        "--batch-episodes",
+        type=int,
+        default=1,
+        metavar="B",
+        help="roll out B lockstep episodes per batched encode+decode pass "
+        "and update on them together (1 = the original one-episode engine; "
+        "B > 1 also sets episodes-per-update to B)",
     )
 
     report = sub.add_parser(
@@ -314,6 +331,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 episodes=args.episodes,
                 cells=args.cells,
                 rollout_workers=args.workers,
+                batch_episodes=args.batch_episodes,
             )
         )
         if args.update_baseline:
@@ -341,7 +359,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 )
 
         if args.enforce:
-            from repro.obs.history import RunHistory
+            from repro.obs.history import RunHistory, candidate_phases
 
             if args.history:
                 history = RunHistory.scan(args.history)
@@ -349,7 +367,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     history = RunHistory.from_payloads([baseline], [args.compare])
             else:
                 history = RunHistory.from_payloads([baseline], [args.compare])
-            failures = history.check(payload.get("phases", {}), last_n=10)
+            failures = history.check(candidate_phases(payload), last_n=10)
             for failure in failures:
                 print(
                     f"::error ::bench regression: {failure.message()}",
@@ -385,6 +403,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 workload.flow_config,
                 TrainConfig(
                     max_episodes=args.episodes,
+                    episodes_per_update=max(args.batch_episodes, 1),
+                    batch_episodes=args.batch_episodes,
                     seed=args.seed,
                     workers=args.workers,
                     rollout_timeout=args.rollout_timeout,

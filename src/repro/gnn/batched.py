@@ -1,0 +1,684 @@
+"""Batched incremental EP-GNN encoding for stacked episodes of one design.
+
+:class:`BatchedEncoderSession` runs B episodes of the *same* design
+(different seeds/masks, identical static graph structure) through one
+``(B, N, F)`` encode per RL step.  The static feature columns are required
+to be identical across batch rows, so the episode-constant rank-1 layer-1
+split of :class:`~repro.gnn.incremental.EncoderSession` stays **shared**:
+``A_static``/``M_static`` are computed once as 2-D tensors and every batch
+row applies only its own rank-1 masked-column correction on top.
+
+The dirty region is the union over batch rows of per-row mask flips.
+Sharing one region across the batch keeps every gather/segment-sum shape
+``(B, |rows|, ·)`` — a clean row inside the union is recomputed from
+unchanged inputs, which reproduces its cached value (same expressions,
+same summation order), so correctness only needs the union to *cover*
+each row's dirty set.  All fallback rules and the shadow check
+(``REPRO_GNN_CHECK=1``) carry over from the unbatched session; the
+reference for the check is a from-scratch batched encode.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+try:  # SciPy is optional: CSR matmuls roughly quintuple the fused
+    import scipy.sparse as _sparse  # full-encode throughput when present.
+except ImportError:  # pragma: no cover - exercised via the reduceat path
+    _sparse = None
+
+from repro import obs
+from repro.gnn.incremental import (
+    CHECK_ATOL,
+    FULL_FALLBACK_FRACTION,
+    EncoderSession,
+    _segment_sum_sorted,
+    _sigmoid,
+    assert_embeddings_equal,
+    check_enabled,
+)
+from repro.nn.tensor import Tensor, scatter_rows
+
+
+def _rank1_rows_batched(
+    a_static: Tensor,
+    m_static: Tensor,
+    layer,
+    rows: np.ndarray,
+    mask_rows: np.ndarray,
+    nb_mask_rows: np.ndarray,
+) -> Tensor:
+    """Batched layer-1 dirty-row update (one tape node).
+
+    ``a_static``/``m_static`` are the *shared* 2-D static affines;
+    ``mask_rows``/``nb_mask_rows`` are ``(B, R)`` per-episode corrections.
+    Backward sums the batch contribution into the shared static caches and
+    the mask column's weight row, mirroring ``_rank1_rows`` per row.
+    """
+    proj_w, agg_w, gamma_logit = layer.proj.weight, layer.agg.weight, layer.gamma_logit
+    g = float(_sigmoid(gamma_logit.data)[0])
+    proj_pre = a_static.data[rows] + mask_rows[..., None] * proj_w.data[0]
+    agg_pre = m_static.data[rows] + nb_mask_rows[..., None] * agg_w.data[0]
+    out_data = _sigmoid(g * proj_pre + (1.0 - g) * agg_pre)
+
+    def backward(grad: np.ndarray) -> None:
+        d = grad * out_data * (1.0 - out_data)
+        gp = g * d
+        ga = (1.0 - g) * d
+        if a_static.requires_grad:
+            full = np.zeros_like(a_static.data)
+            np.add.at(full, rows, gp.sum(axis=0))
+            a_static._accumulate(full)
+        if m_static.requires_grad:
+            full = np.zeros_like(m_static.data)
+            np.add.at(full, rows, ga.sum(axis=0))
+            m_static._accumulate(full)
+        if proj_w.requires_grad:
+            full = np.zeros_like(proj_w.data)
+            full[0] = np.einsum("br,brh->h", mask_rows, gp)
+            proj_w._accumulate(full)
+        if agg_w.requires_grad:
+            full = np.zeros_like(agg_w.data)
+            full[0] = np.einsum("br,brh->h", nb_mask_rows, ga)
+            agg_w._accumulate(full)
+        if gamma_logit.requires_grad:
+            d_gamma = float((d * (proj_pre - agg_pre)).sum())
+            gamma_logit._accumulate(np.array([d_gamma * g * (1.0 - g)]))
+
+    return Tensor._make(
+        out_data, (a_static, m_static, proj_w, agg_w, gamma_logit), backward
+    )
+
+
+def _conv_full_first_batched(
+    features: np.ndarray,
+    layer,
+    mean: np.ndarray,
+) -> Tensor:
+    """Batched Eq.-2 layer 1 over the **whole graph** (one tape node).
+
+    The input features are constants (no upstream gradient), so backward
+    only reduces the weight gradients over the batch and node axes.
+    Arithmetic mirrors :meth:`GraphConvLayer.forward` operation for
+    operation, so the values are bitwise-identical to the generic path.
+    """
+    proj_w, proj_b = layer.proj.weight, layer.proj.bias
+    agg_w, agg_b = layer.agg.weight, layer.agg.bias
+    gamma_logit = layer.gamma_logit
+    g = float(_sigmoid(gamma_logit.data)[0])
+    proj_pre = features @ proj_w.data + proj_b.data
+    agg_pre = mean @ agg_w.data + agg_b.data
+    out_data = _sigmoid(g * proj_pre + (1.0 - g) * agg_pre)
+
+    def backward(grad: np.ndarray) -> None:
+        d = grad * out_data * (1.0 - out_data)
+        gp = g * d
+        ga = (1.0 - g) * d
+        if proj_w.requires_grad:
+            proj_w._accumulate(
+                features.reshape(-1, features.shape[-1]).T
+                @ gp.reshape(-1, gp.shape[-1])
+            )
+        if proj_b.requires_grad:
+            proj_b._accumulate(gp.sum(axis=(0, 1)))
+        if agg_w.requires_grad:
+            agg_w._accumulate(
+                mean.reshape(-1, mean.shape[-1]).T @ ga.reshape(-1, ga.shape[-1])
+            )
+        if agg_b.requires_grad:
+            agg_b._accumulate(ga.sum(axis=(0, 1)))
+        if gamma_logit.requires_grad:
+            d_gamma = float((d * (proj_pre - agg_pre)).sum())
+            gamma_logit._accumulate(np.array([d_gamma * g * (1.0 - g)]))
+
+    return Tensor._make(
+        out_data, (proj_w, proj_b, agg_w, agg_b, gamma_logit), backward
+    )
+
+
+def _conv_full_batched(
+    prev: Tensor,
+    layer,
+    mean: np.ndarray,
+    mean_backward,
+) -> Tensor:
+    """Batched Eq.-2 layer over the **whole graph** (one tape node).
+
+    Unlike :func:`_conv_rows_batched` there is no row scatter: ``dx`` is the
+    dense ``gp @ Θ_projᵀ`` plus the caller's reverse-CSR mean backward, so
+    no ``np.add.at`` appears anywhere on this path.
+    """
+    proj_w, proj_b = layer.proj.weight, layer.proj.bias
+    agg_w, agg_b = layer.agg.weight, layer.agg.bias
+    gamma_logit = layer.gamma_logit
+    g = float(_sigmoid(gamma_logit.data)[0])
+    x = prev.data
+    proj_pre = x @ proj_w.data + proj_b.data
+    agg_pre = mean @ agg_w.data + agg_b.data
+    out_data = _sigmoid(g * proj_pre + (1.0 - g) * agg_pre)
+
+    def backward(grad: np.ndarray) -> None:
+        d = grad * out_data * (1.0 - out_data)
+        gp = g * d
+        ga = (1.0 - g) * d
+        if proj_w.requires_grad:
+            proj_w._accumulate(
+                x.reshape(-1, x.shape[-1]).T @ gp.reshape(-1, gp.shape[-1])
+            )
+        if proj_b.requires_grad:
+            proj_b._accumulate(gp.sum(axis=(0, 1)))
+        if agg_w.requires_grad:
+            agg_w._accumulate(
+                mean.reshape(-1, mean.shape[-1]).T @ ga.reshape(-1, ga.shape[-1])
+            )
+        if agg_b.requires_grad:
+            agg_b._accumulate(ga.sum(axis=(0, 1)))
+        if gamma_logit.requires_grad:
+            d_gamma = float((d * (proj_pre - agg_pre)).sum())
+            gamma_logit._accumulate(np.array([d_gamma * g * (1.0 - g)]))
+        if prev.requires_grad:
+            dx = gp @ proj_w.data.T
+            mean_backward(ga @ agg_w.data.T, dx)
+            prev._accumulate(dx)
+
+    return Tensor._make(
+        out_data,
+        (prev, proj_w, proj_b, agg_w, agg_b, gamma_logit),
+        backward,
+    )
+
+
+def _pool_fc_full_batched(
+    final: Tensor,
+    fc,
+    ep_cells: np.ndarray,
+    cone_sums,
+    pool_backward,
+) -> Tensor:
+    """Batched Eq.-3 pooling + FC head over **all endpoints** (one node)."""
+    fc_w, fc_b = fc.weight, fc.bias
+    x = final.data
+    pooled = x[:, ep_cells] + cone_sums
+    out_data = pooled @ fc_w.data + fc_b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if fc_w.requires_grad:
+            fc_w._accumulate(
+                pooled.reshape(-1, pooled.shape[-1]).T
+                @ grad.reshape(-1, grad.shape[-1])
+            )
+        if fc_b.requires_grad:
+            fc_b._accumulate(grad.sum(axis=(0, 1)))
+        if final.requires_grad:
+            upstream = grad @ fc_w.data.T
+            dx = np.zeros_like(x)
+            np.add.at(dx, (slice(None), ep_cells), upstream)
+            pool_backward(upstream, dx)
+            final._accumulate(dx)
+
+    return Tensor._make(out_data, (final, fc_w, fc_b), backward)
+
+
+def _conv_rows_batched(
+    prev: Tensor,
+    layer,
+    rows: np.ndarray,
+    mean: np.ndarray,
+    mean_backward,
+) -> Tensor:
+    """Batched Eq.-2 layer on ``rows`` only (one tape node).
+
+    ``prev`` is the ``(B, N, H)`` previous-layer tensor; ``mean`` the
+    ``(B, R, H)`` caller-computed neighbor means.  Weight gradients reduce
+    over both the batch and row axes.
+    """
+    proj_w, proj_b = layer.proj.weight, layer.proj.bias
+    agg_w, agg_b = layer.agg.weight, layer.agg.bias
+    gamma_logit = layer.gamma_logit
+    g = float(_sigmoid(gamma_logit.data)[0])
+    x = prev.data
+    x_rows = x[:, rows]
+    proj_pre = x_rows @ proj_w.data + proj_b.data
+    agg_pre = mean @ agg_w.data + agg_b.data
+    out_data = _sigmoid(g * proj_pre + (1.0 - g) * agg_pre)
+
+    def backward(grad: np.ndarray) -> None:
+        d = grad * out_data * (1.0 - out_data)
+        gp = g * d
+        ga = (1.0 - g) * d
+        if proj_w.requires_grad:
+            proj_w._accumulate(
+                x_rows.reshape(-1, x_rows.shape[-1]).T @ gp.reshape(-1, gp.shape[-1])
+            )
+        if proj_b.requires_grad:
+            proj_b._accumulate(gp.sum(axis=(0, 1)))
+        if agg_w.requires_grad:
+            agg_w._accumulate(
+                mean.reshape(-1, mean.shape[-1]).T @ ga.reshape(-1, ga.shape[-1])
+            )
+        if agg_b.requires_grad:
+            agg_b._accumulate(ga.sum(axis=(0, 1)))
+        if gamma_logit.requires_grad:
+            d_gamma = float((d * (proj_pre - agg_pre)).sum())
+            gamma_logit._accumulate(np.array([d_gamma * g * (1.0 - g)]))
+        if prev.requires_grad:
+            dx = np.zeros_like(x)
+            np.add.at(dx, (slice(None), rows), gp @ proj_w.data.T)
+            mean_backward(ga @ agg_w.data.T, dx)
+            prev._accumulate(dx)
+
+    return Tensor._make(
+        out_data,
+        (prev, proj_w, proj_b, agg_w, agg_b, gamma_logit),
+        backward,
+    )
+
+
+def _pool_fc_rows_batched(
+    final: Tensor,
+    fc,
+    ep_cells: np.ndarray,
+    cone_sums: np.ndarray,
+    pool_backward,
+) -> Tensor:
+    """Batched Eq.-3 pooling + FC head for dirty endpoints (one tape node)."""
+    fc_w, fc_b = fc.weight, fc.bias
+    x = final.data
+    pooled = x[:, ep_cells] + cone_sums
+    out_data = pooled @ fc_w.data + fc_b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if fc_w.requires_grad:
+            fc_w._accumulate(
+                pooled.reshape(-1, pooled.shape[-1]).T
+                @ grad.reshape(-1, grad.shape[-1])
+            )
+        if fc_b.requires_grad:
+            fc_b._accumulate(grad.sum(axis=(0, 1)))
+        if final.requires_grad:
+            upstream = grad @ fc_w.data.T
+            dx = np.zeros_like(x)
+            np.add.at(dx, (slice(None), ep_cells), upstream)
+            pool_backward(upstream, dx)
+            final._accumulate(dx)
+
+    return Tensor._make(out_data, (final, fc_w, fc_b), backward)
+
+
+class BatchedEncoderSession(EncoderSession):
+    """Incremental EP-GNN state for B stacked episodes of one design.
+
+    Accepts ``(B, N, F)`` feature tensors whose static columns are
+    identical across batch rows; returns ``(B, num_endpoints, embed_dim)``
+    embeddings.  Structural caches (reverse CSR, cone maps) are inherited
+    from :class:`~repro.gnn.incremental.EncoderSession` unchanged; two
+    extra member-sorted CSRs make the *full* batched encode scatter-free
+    (``np.add.reduceat`` in both directions) — at realistic batch sizes the
+    union dirty region regularly trips the full-fallback rule, so the full
+    path is as hot as the incremental one.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._rev_counts = np.diff(self._rev_indptr)
+        # Reverse cone CSR: cell → endpoints whose fan-in cone contains it,
+        # grouped by (sorted) cell, for the pooling backward.
+        members = self.cones.cone_members
+        order = np.argsort(members, kind="stable")
+        self._rc_owner = self._cone_owner[order]
+        self._rc_cells, self._rc_counts = np.unique(members, return_counts=True)
+        # Degree-folded sparse operators for the fused full encode: the
+        # neighbor-mean aggregation and the fan-in cone pooling as CSR
+        # matmuls over an (N, B*H) layout.  SciPy-optional — `None` keeps
+        # the pure-numpy reduceat path.
+        self._A_mean = self._A_mean_T = None
+        self._S_cone = self._S_cone_T = None
+        if _sparse is not None:
+            num_nodes = self.graph.num_nodes
+            weights = np.repeat(self._inv_degree, self._fwd_counts)
+            self._A_mean = _sparse.csr_matrix(
+                (weights, self.graph.neighbor_index, self.graph.indptr),
+                shape=(num_nodes, num_nodes),
+            )
+            self._A_mean_T = self._A_mean.T.tocsr()
+            if members.size:
+                self._S_cone = _sparse.csr_matrix(
+                    (
+                        np.ones(members.size),
+                        members,
+                        self.cones.cone_indptr,
+                    ),
+                    shape=(self.cones.cone_indptr.size - 1, num_nodes),
+                )
+                self._S_cone_T = self._S_cone.T.tocsr()
+
+    # ------------------------------------------------------------------ #
+    def encode(self, features: np.ndarray) -> Tensor:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 3:
+            raise ValueError(
+                f"BatchedEncoderSession expects (B, N, F) features, "
+                f"got shape {features.shape}"
+            )
+        if not self._cache_valid(features):
+            return self._full_encode(features)
+
+        mask = features[..., 0]
+        dirty = np.nonzero((mask != self._prev_mask).any(axis=0))[0]
+        if dirty.size == 0:
+            obs.incr("gnn.incremental_encode")
+            return self._emb
+
+        # Union-over-batch dirty region, grown one reverse-adjacency hop
+        # per layer exactly as in the unbatched session.
+        in_region = np.zeros(self.graph.num_nodes, dtype=bool)
+        in_region[dirty] = True
+        frontier_mask = in_region.copy()
+        regions = [dirty]
+        region_masks = [frontier_mask]
+        for _ in range(len(self.gnn.layers)):
+            neighbors = self._rev_index[frontier_mask[self._rev_owner]]
+            fresh_mask = np.zeros_like(in_region)
+            fresh_mask[neighbors] = True
+            fresh_mask &= ~in_region
+            in_region |= fresh_mask
+            frontier_mask = fresh_mask
+            regions.append(np.nonzero(in_region)[0])
+            region_masks.append(in_region.copy())
+        if regions[-1].size > FULL_FALLBACK_FRACTION * self.graph.num_nodes:
+            return self._full_encode(features)
+
+        with obs.span("gnn.incremental_encode"):
+            embeddings = self._incremental_step(
+                features, mask, regions, region_masks
+            )
+        obs.incr("gnn.incremental_encode")
+        obs.incr("gnn.dirty_cells", int(regions[-1].size))
+        if check_enabled():
+            with obs.span("gnn.shadow_check"):
+                assert_embeddings_equal(
+                    embeddings, self._reference(features), CHECK_ATOL
+                )
+            obs.incr("gnn.shadow_checks")
+        return embeddings
+
+    # ------------------------------------------------------------------ #
+    def _cache_valid(self, features: np.ndarray) -> bool:
+        if self._layers is None or self._emb is None:
+            return False
+        version = getattr(self.netlist, "mutation_version", None)
+        if version != self._version:
+            return False
+        batch = self._prev_mask.shape[0]
+        if features.shape != (
+            batch,
+            self.graph.num_nodes,
+            self._static.shape[1] + 1,
+        ):
+            return False
+        return bool((features[..., 1:] == self._static).all())
+
+    def _full_means(self, x: np.ndarray):
+        """All-node batched neighbor means with a reduceat backward.
+
+        Forward sums the forward-CSR edge stack; backward routes ``d_mean``
+        through the reverse CSR — a gather + sorted segment-sum in both
+        directions, no ``np.add.at``.  ``reduceat`` reduces segments with
+        unrolled partial sums, so results drift from the generic
+        :func:`repro.gnn.epgnn._mean_aggregate` scatter by ~1e-16 — inside
+        the documented B>1 tolerance, which is why :meth:`_full_encode`
+        keeps B=1 on the generic tape.
+        """
+        if self._A_mean is not None:
+            batch, num_nodes, width = x.shape
+            flat = np.ascontiguousarray(x.transpose(1, 0, 2)).reshape(
+                num_nodes, batch * width
+            )
+            mean = np.ascontiguousarray(
+                (self._A_mean @ flat)
+                .reshape(num_nodes, batch, width)
+                .transpose(1, 0, 2)
+            )
+
+            def mean_backward(d_mean: np.ndarray, dx: np.ndarray) -> None:
+                flat_grad = np.ascontiguousarray(
+                    d_mean.transpose(1, 0, 2)
+                ).reshape(num_nodes, -1)
+                dx += (
+                    (self._A_mean_T @ flat_grad)
+                    .reshape(num_nodes, d_mean.shape[0], -1)
+                    .transpose(1, 0, 2)
+                )
+
+            return mean, mean_backward
+
+        mean = _segment_sum_sorted(
+            x[:, self.graph.neighbor_index], self._fwd_counts, axis=1
+        )
+        mean *= self._inv_degree[:, None]
+
+        def mean_backward(d_mean: np.ndarray, dx: np.ndarray) -> None:
+            weighted = d_mean * self._inv_degree[:, None]
+            dx += _segment_sum_sorted(
+                weighted[:, self._rev_index], self._rev_counts, axis=1
+            )
+
+        return mean, mean_backward
+
+    def _full_cone_sums(self, x: np.ndarray):
+        """All-endpoint batched cone sums; backward via the reverse cone CSR."""
+        if self.cones.cone_members.size == 0:
+            return 0.0, lambda upstream, dx: None
+        if self._S_cone is not None:
+            batch, num_nodes, width = x.shape
+            flat = np.ascontiguousarray(x.transpose(1, 0, 2)).reshape(
+                num_nodes, batch * width
+            )
+            num_eps = self._S_cone.shape[0]
+            sums = np.ascontiguousarray(
+                (self._S_cone @ flat)
+                .reshape(num_eps, batch, width)
+                .transpose(1, 0, 2)
+            )
+
+            def pool_backward(upstream: np.ndarray, dx: np.ndarray) -> None:
+                flat_up = np.ascontiguousarray(
+                    upstream.transpose(1, 0, 2)
+                ).reshape(num_eps, -1)
+                dx += (
+                    (self._S_cone_T @ flat_up)
+                    .reshape(num_nodes, upstream.shape[0], -1)
+                    .transpose(1, 0, 2)
+                )
+
+            return sums, pool_backward
+
+        sums = _segment_sum_sorted(
+            x[:, self.cones.cone_members], self._cone_counts, axis=1
+        )
+
+        def pool_backward(upstream: np.ndarray, dx: np.ndarray) -> None:
+            contrib = upstream[:, self._rc_owner]
+            dx[:, self._rc_cells] += _segment_sum_sorted(
+                contrib, self._rc_counts, axis=1
+            )
+
+        return sums, pool_backward
+
+    def _fused_forward(self, features: np.ndarray):
+        """Scatter-free fused conv stack + pool + fc over the whole graph.
+
+        Returns ``(layers, embeddings)``.  B>1 only — drifts from the
+        generic tape by ~1e-16 per segment (``reduceat`` partial sums).
+        """
+        gnn = self.gnn
+        layers: List[Tensor] = []
+        x: Tensor = None  # type: ignore[assignment]
+        for depth, layer in enumerate(gnn.layers):
+            data = features if depth == 0 else x.data
+            mean, mean_backward = self._full_means(data)
+            if depth == 0:
+                x = _conv_full_first_batched(features, layer, mean)
+            else:
+                x = _conv_full_batched(x, layer, mean, mean_backward)
+            layers.append(x)
+        cone_sums, pool_backward = self._full_cone_sums(x.data)
+        embeddings = _pool_fc_full_batched(
+            x, gnn.fc, self._ep_cells, cone_sums, pool_backward
+        )
+        return layers, embeddings
+
+    def full_encode(self, features: np.ndarray) -> Tensor:
+        """One fused full-graph encode with no cache interaction.
+
+        The non-incremental batched policy path: every step re-encodes the
+        whole graph, so nothing needs the incremental caches or the
+        episode-constant static affines.  Callers must keep B=1 on the
+        generic :class:`~repro.gnn.epgnn.EPGNN` forward — this path's
+        ``reduceat`` partial sums break the B=1 byte-identity contract.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 3:
+            raise ValueError(
+                f"BatchedEncoderSession expects (B, N, F) features, "
+                f"got shape {features.shape}"
+            )
+        with obs.span("gnn.full_encode"):
+            _, embeddings = self._fused_forward(features)
+        obs.incr("gnn.full_encode")
+        return embeddings
+
+    def _full_encode(self, features: np.ndarray) -> Tensor:
+        gnn = self.gnn
+        static = features[..., 1:]
+        if not (static == static[0]).all():
+            raise ValueError(
+                "batched episodes must share identical static feature columns"
+            )
+        with obs.span("gnn.full_encode"):
+            if features.shape[0] == 1:
+                # The byte-identity contract pins B=1 to the exact generic
+                # arithmetic of the unbatched session's full encode; the
+                # fused reduceat path drifts by ~1e-16 per segment.
+                layers: List[Tensor] = []
+                x = Tensor(features)
+                for layer in gnn.layers:
+                    x = layer(x, self.graph)
+                    layers.append(x)
+                pooled = gnn.endpoint_pool(x, self.cones)
+                embeddings = gnn.fc(pooled)
+            else:
+                layers, embeddings = self._fused_forward(features)
+
+            # Shared 2-D rank-1 split: every batch row reuses the same
+            # static affines, so they are computed once from row 0.
+            static_features = np.array(features[0], copy=True)
+            static_features[:, 0] = 0.0
+            first = gnn.layers[0]
+            a_static = first.proj(Tensor(static_features))
+            m_static = first.agg(
+                Tensor(self.graph.mean_aggregate(static_features))
+            )
+
+        self._layers = layers
+        self._emb = embeddings
+        self._prev_mask = np.array(features[..., 0], copy=True)
+        self._static = np.array(static[0], copy=True)
+        self._statics = (a_static, m_static)
+        self._version = getattr(self.netlist, "mutation_version", None)
+        obs.incr("gnn.full_encode")
+        return embeddings
+
+    def _neighbor_means(
+        self, x: np.ndarray, row_mask: np.ndarray, rows: np.ndarray
+    ):
+        """Per-row neighbor means over the batch: ``x`` is ``(B, N, H)``,
+        the result ``(B, R, H)``; one shared edge select, B reduce lanes."""
+        flat = self.graph.neighbor_index[row_mask[self._fwd_owner]]
+        counts = self._fwd_counts[rows]
+        inv_deg_rows = self._inv_degree[rows]
+        mean = _segment_sum_sorted(x[:, flat], counts, axis=1)
+        mean *= inv_deg_rows[:, None]
+        seg = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
+
+        def mean_backward(g: np.ndarray, dx: np.ndarray) -> None:
+            d_mean = g * inv_deg_rows[:, None]
+            np.add.at(dx, (slice(None), flat), d_mean[:, seg])
+
+        return mean, mean_backward
+
+    def _cone_sums(self, x: np.ndarray, ep_mask: np.ndarray, eps: np.ndarray):
+        flat = self.cones.cone_members[ep_mask[self._cone_owner]]
+        counts = self._cone_counts[eps]
+        sums = _segment_sum_sorted(x[:, flat], counts, axis=1)
+        seg = np.repeat(np.arange(eps.size, dtype=np.int64), counts)
+
+        def pool_backward(upstream: np.ndarray, dx: np.ndarray) -> None:
+            np.add.at(dx, (slice(None), flat), upstream[:, seg])
+
+        return sums, pool_backward
+
+    def _incremental_step(
+        self,
+        features: np.ndarray,
+        mask: np.ndarray,
+        regions: List[np.ndarray],
+        region_masks: List[np.ndarray],
+    ) -> Tensor:
+        gnn = self.gnn
+        layers = self._layers
+        new_layers: List[Tensor] = []
+
+        first = gnn.layers[0]
+        rows1 = regions[1]
+        a_static, m_static = self._statics
+        nb_mask, _ = self._neighbor_means(mask[..., None], region_masks[1], rows1)
+        nb_mask = nb_mask[..., 0]
+        fresh = _rank1_rows_batched(
+            a_static, m_static, first, rows1, mask[:, rows1], nb_mask
+        )
+        new_layers.append(scatter_rows(layers[0], rows1, fresh))
+
+        for depth, layer in enumerate(gnn.layers[1:], start=1):
+            rows = regions[depth + 1]
+            prev = new_layers[depth - 1]
+            mean, mean_backward = self._neighbor_means(
+                prev.data, region_masks[depth + 1], rows
+            )
+            fresh = _conv_rows_batched(prev, layer, rows, mean, mean_backward)
+            new_layers.append(scatter_rows(layers[depth], rows, fresh))
+
+        final_region = regions[-1]
+        final = new_layers[-1]
+        ep_dirty = np.zeros(self._ep_cells.size, dtype=bool)
+        ep_dirty[self.cones.endpoints_touching(final_region)] = True
+        own_positions = self._ep_pos[final_region]
+        ep_dirty[own_positions[own_positions >= 0]] = True
+        dirty_eps = np.nonzero(ep_dirty)[0]
+        if dirty_eps.size:
+            cone_sums, pool_backward = self._cone_sums(
+                final.data, ep_dirty, dirty_eps
+            )
+            emb_rows = _pool_fc_rows_batched(
+                final, gnn.fc, self._ep_cells[dirty_eps], cone_sums, pool_backward
+            )
+            embeddings = scatter_rows(self._emb, dirty_eps, emb_rows)
+        else:
+            embeddings = self._emb
+
+        self._layers = new_layers
+        self._emb = embeddings
+        self._prev_mask = np.array(mask, copy=True)
+        return embeddings
+
+    def _reference(self, features: np.ndarray) -> Tensor:
+        gnn = self.gnn
+        x = Tensor(np.asarray(features, dtype=np.float64))
+        for layer in gnn.layers:
+            x = layer(x, self.graph)
+        return gnn.fc(gnn.endpoint_pool(x, self.cones)).detach()
+
+
+__all__ = ["BatchedEncoderSession"]

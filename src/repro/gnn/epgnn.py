@@ -128,11 +128,17 @@ class EPGNN(Module):
         return [layer.gamma for layer in self.layers]
 
     def node_embeddings(self, features: np.ndarray, graph: MessagePassingGraph) -> Tensor:
-        """Run the Eq.-2 stack over all cells; (num_cells × hidden_dim)."""
+        """Run the Eq.-2 stack over all cells; (num_cells × hidden_dim).
+
+        A stacked ``(B, num_cells, in_features)`` batch of episodes sharing
+        this graph is accepted too and yields ``(B, num_cells, hidden_dim)``;
+        every op vectorizes over the leading axis bitwise-identically to B
+        independent passes.
+        """
         x = Tensor(np.asarray(features, dtype=np.float64))
-        if x.shape[1] != self.in_features:
+        if x.ndim not in (2, 3) or x.shape[-1] != self.in_features:
             raise ValueError(
-                f"feature dim {x.shape[1]} != model in_features {self.in_features}"
+                f"feature dim {x.shape[-1]} != model in_features {self.in_features}"
             )
         for layer in self.layers:
             x = layer(x, graph)
@@ -144,10 +150,15 @@ class EPGNN(Module):
         graph: MessagePassingGraph,
         cones: ConeIndex,
     ) -> Tensor:
-        """Endpoint embeddings ``F_EP`` per Eq. 3 (num_endpoints × embed_dim)."""
+        """Endpoint embeddings ``F_EP`` per Eq. 3 (num_endpoints × embed_dim).
+
+        With batched ``(B, num_cells, in_features)`` features the result is
+        ``(B, num_endpoints, embed_dim)`` — the "loop" pooling ablation stays
+        single-episode, so batched inputs always pool through the CSR path.
+        """
         with obs.span("gnn.forward"):
             nodes = self.node_embeddings(features, graph)
-            if self.pooling == "loop":
+            if self.pooling == "loop" and nodes.ndim == 2:
                 pooled = self._pool_loop(nodes, cones)
             else:
                 pooled = self.endpoint_pool(nodes, cones)

@@ -195,14 +195,21 @@ class Tensor:
         other = as_tensor(other)
 
         a_nd, b_nd = self.data.ndim, other.data.ndim
-        if a_nd > 2 or b_nd > 2:
-            raise ValueError("Tensor @ supports only 1-D and 2-D operands")
+        if a_nd > 3 or b_nd > 2:
+            raise ValueError(
+                "Tensor @ supports 1-D/2-D operands plus a 3-D (batched) "
+                "left operand against a 2-D or 1-D right operand"
+            )
 
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other.data
             grad = np.asarray(grad)
             if self.requires_grad:
-                if a_nd == 2 and b_nd == 2:
+                if a_nd == 3 and b_nd == 2:  # (B,m,n)@(n,p) -> (B,m,p)
+                    ga = grad @ b.T
+                elif a_nd == 3 and b_nd == 1:  # (B,m,n)@(n,) -> (B,m)
+                    ga = grad[..., None] * b
+                elif a_nd == 2 and b_nd == 2:
                     ga = grad @ b.T
                 elif a_nd == 2 and b_nd == 1:  # (m,n)@(n,) -> (m,)
                     ga = np.outer(grad, b)
@@ -212,7 +219,11 @@ class Tensor:
                     ga = grad * b
                 self._accumulate(ga.reshape(a.shape))
             if other.requires_grad:
-                if a_nd == 2 and b_nd == 2:
+                if a_nd == 3 and b_nd == 2:
+                    gb = a.reshape(-1, a.shape[-1]).T @ grad.reshape(-1, grad.shape[-1])
+                elif a_nd == 3 and b_nd == 1:
+                    gb = a.reshape(-1, a.shape[-1]).T @ grad.reshape(-1)
+                elif a_nd == 2 and b_nd == 2:
                     gb = a.T @ grad
                 elif a_nd == 2 and b_nd == 1:
                     gb = a.T @ grad
@@ -348,16 +359,26 @@ class Tensor:
         return Tensor._make(self.data[index], (self,), backward)
 
     def gather_rows(self, indices: np.ndarray) -> "Tensor":
-        """Select rows ``indices`` from a 2-D tensor (differentiable)."""
+        """Select rows ``indices`` (differentiable).
+
+        On a 2-D tensor this gathers along axis 0; on a 3-D (batched)
+        tensor the leading axis is the batch and rows are gathered along
+        axis 1, sharing one index array across every batch row.
+        """
         indices = np.asarray(indices, dtype=np.int64)
+        batched = self.data.ndim == 3
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, indices, grad)
+                if batched:
+                    np.add.at(full, (slice(None), indices), grad)
+                else:
+                    np.add.at(full, indices, grad)
                 self._accumulate(full)
 
-        return Tensor._make(self.data[indices], (self,), backward)
+        data = self.data[:, indices] if batched else self.data[indices]
+        return Tensor._make(data, (self,), backward)
 
     # ------------------------------------------------------------------ #
     # backward pass
@@ -453,13 +474,22 @@ def segment_sum(rows: Tensor, segments: np.ndarray, num_segments: int) -> Tensor
     """
     rows = as_tensor(rows)
     segments = np.asarray(segments, dtype=np.int64)
+    batched = rows.ndim == 3
 
     def backward(grad: np.ndarray) -> None:
         if rows.requires_grad:
-            rows._accumulate(grad[segments])
+            if batched:
+                rows._accumulate(grad[:, segments])
+            else:
+                rows._accumulate(grad[segments])
 
-    data = np.zeros((num_segments, rows.shape[1]))
-    np.add.at(data, segments, rows.data)
+    if batched:
+        # (B, R, F) rows with one shared segment map: pool along axis 1.
+        data = np.zeros((rows.shape[0], num_segments, rows.shape[2]))
+        np.add.at(data, (slice(None), segments), rows.data)
+    else:
+        data = np.zeros((num_segments, rows.shape[1]))
+        np.add.at(data, segments, rows.data)
     return Tensor._make(data, (rows,), backward)
 
 
@@ -496,7 +526,13 @@ def scatter_rows(base: Tensor, indices: np.ndarray, rows: Tensor) -> Tensor:
     indices = np.asarray(indices, dtype=np.int64)
     if indices.ndim != 1:
         raise ValueError("scatter_rows() expects a 1-D index array")
-    if rows.shape != (indices.size,) + base.shape[1:]:
+    batched = base.ndim == 3
+    expected = (
+        (base.shape[0], indices.size) + base.shape[2:]
+        if batched
+        else (indices.size,) + base.shape[1:]
+    )
+    if rows.shape != expected:
         raise ValueError(
             f"rows shape {rows.shape} incompatible with base {base.shape} "
             f"at {indices.size} indices"
@@ -504,20 +540,32 @@ def scatter_rows(base: Tensor, indices: np.ndarray, rows: Tensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if rows.requires_grad:
-            rows._accumulate(grad[indices])
+            rows._accumulate(grad[:, indices] if batched else grad[indices])
         if base.requires_grad:
             keep = np.array(grad, dtype=np.float64, copy=True)
-            keep[indices] = 0.0
+            if batched:
+                keep[:, indices] = 0.0
+            else:
+                keep[indices] = 0.0
             base._accumulate(keep)
 
     data = np.array(base.data, copy=True)
-    data[indices] = rows.data
+    if batched:
+        data[:, indices] = rows.data
+    else:
+        data[indices] = rows.data
     return Tensor._make(data, (base, rows), backward)
 
 
 def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
-    """Differentiable select: ``condition`` is a plain boolean array."""
-    condition = np.asarray(condition, dtype=bool)
+    """Differentiable select: ``condition`` is a plain boolean array.
+
+    The condition is **copied**: the backward closure replays it after the
+    caller may have mutated the original in place (the selection env flips
+    its ``valid`` mask between steps), and gradients must route by the
+    condition as it was at forward time.
+    """
+    condition = np.array(condition, dtype=bool, copy=True)
     a, b = as_tensor(a), as_tensor(b)
 
     def backward(grad: np.ndarray) -> None:

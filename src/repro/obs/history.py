@@ -65,6 +65,40 @@ def mad(values: Sequence[float]) -> float:
     return median([abs(float(v) - center) for v in values])
 
 
+def section_medians(payload: Mapping[str, Any]) -> Dict[str, float]:
+    """Engine-comparison section timings as ``section.…`` pseudo-phases.
+
+    The nightly gate tracks the rollout-pool and batched-policy sections
+    alongside recorder phases, so a pool or batching regression fails the
+    same median+MAD check as any instrumented phase.  Each entry's value
+    is the section's headline seconds for that engine (total pass seconds
+    for rollout engines, per-episode seconds for the batch section).
+    """
+    out: Dict[str, float] = {}
+    rollout = payload.get("rollout") or {}
+    for engine in ("sequential", "pooled", "cached_replay"):
+        seconds = (rollout.get(engine) or {}).get("seconds")
+        if seconds is not None:
+            out[f"section.rollout.{engine}"] = float(seconds)
+    batch = payload.get("batch") or {}
+    for mode in ("full", "incremental"):
+        section = batch.get(mode) or {}
+        for engine in ("single", "batched"):
+            seconds = (section.get(engine) or {}).get("per_episode_s")
+            if seconds is not None:
+                out[f"section.batch.{mode}.{engine}"] = float(seconds)
+    return out
+
+
+def candidate_phases(payload: Mapping[str, Any]) -> Dict[str, Mapping[str, float]]:
+    """A candidate payload's ``phases`` table plus its section pseudo-phases,
+    in the shape :meth:`RunHistory.check` expects."""
+    out: Dict[str, Mapping[str, float]] = dict(payload.get("phases", {}))
+    for name, seconds in section_medians(payload).items():
+        out[name] = {"median_s": seconds}
+    return out
+
+
 @dataclass(frozen=True)
 class BenchRun:
     """One indexed ``BENCH_*.json`` payload."""
@@ -78,16 +112,18 @@ class BenchRun:
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any], path: str) -> "BenchRun":
+        medians = {
+            name: float(stats["median_s"])
+            for name, stats in payload.get("phases", {}).items()
+        }
+        medians.update(section_medians(payload))
         return cls(
             path=path,
             git_sha=str(payload.get("git_sha", "unknown")),
             seed=payload.get("seed"),
             created_at=str(payload.get("created_at", "")),
             total_seconds=float(payload.get("total_seconds", 0.0)),
-            phase_medians={
-                name: float(stats["median_s"])
-                for name, stats in payload.get("phases", {}).items()
-            },
+            phase_medians=medians,
         )
 
 

@@ -187,9 +187,39 @@ class TestMatmul:
         v = Tensor(rng.normal(size=5))
         check_gradient(lambda t: t @ v, rng.normal(size=5))
 
-    def test_3d_rejected(self):
+    def test_unsupported_ranks_rejected(self):
+        # 3-D is now supported on the left (batched episodes); a 4-D left
+        # operand or a >2-D right operand stays out of contract.
         with pytest.raises(ValueError):
-            Tensor(np.zeros((2, 2, 2))) @ Tensor(np.zeros((2, 2)))
+            Tensor(np.zeros((2, 2, 2, 2))) @ Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2))) @ Tensor(np.zeros((2, 2, 2)))
+
+    def test_3d_2d_gradient(self, rng):
+        w = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda t: (t @ w).sum(), rng.normal(size=(2, 5, 3)))
+
+    def test_3d_2d_weight_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 5, 3)))
+        check_gradient(lambda t: (a @ t).sum(), rng.normal(size=(3, 4)))
+
+    def test_3d_1d_gradient(self, rng):
+        v = Tensor(rng.normal(size=3))
+        check_gradient(lambda t: (t @ v).sum(), rng.normal(size=(2, 4, 3)))
+
+    def test_3d_1d_vector_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 4, 3)))
+        check_gradient(lambda t: (a @ t).sum(), rng.normal(size=3))
+
+    def test_batched_matmul_matches_per_row(self, rng):
+        a = rng.normal(size=(3, 4, 5))
+        w = rng.normal(size=(5, 6))
+        batched = Tensor(a) @ Tensor(w)
+        for b in range(3):
+            row = Tensor(a[b]) @ Tensor(w)
+            np.testing.assert_allclose(
+                batched.data[b], row.data, atol=1e-12, rtol=0.0
+            )
 
 
 class TestNonlinearities:

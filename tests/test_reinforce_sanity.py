@@ -79,3 +79,44 @@ class TestSequentialCredit:
         p2 = np.exp(logits2.data) / np.exp(logits2.data).sum()
         assert p1[0] > 0.7
         assert p2[1] > 0.7
+
+
+class TestBatchEpisodesByteIdentity:
+    """``batch_episodes=1`` must leave the trainer byte-identical.
+
+    The trainer branches on ``batch_episodes > 1`` before any batched
+    machinery, so B=1 runs the pre-batching code path verbatim — these
+    tests pin that contract on a real (small) design end to end.
+    """
+
+    def _train(self, small_design, **overrides):
+        import dataclasses as _dc
+
+        from repro.agent.env import EndpointSelectionEnv
+        from repro.agent.policy import RLCCDPolicy
+        from repro.agent.reinforce import TrainConfig, train_rlccd
+        from repro.ccd.flow import FlowConfig
+        from repro.features.table1 import NUM_FEATURES
+
+        nl, period = small_design
+        env = EndpointSelectionEnv(nl, period, rho=0.3)
+        policy = RLCCDPolicy(NUM_FEATURES, rng=17)
+        config = TrainConfig(
+            max_episodes=3, seed=6, max_selection_steps=5, **overrides
+        )
+        result = train_rlccd(policy, env, FlowConfig(clock_period=period), config)
+        return [_dc.astuple(record) for record in result.history]
+
+    def test_explicit_b1_matches_default_config(self, small_design):
+        default = self._train(small_design)
+        explicit = self._train(small_design, batch_episodes=1)
+        assert default == explicit
+
+    def test_b2_history_deterministic(self, small_design):
+        first = self._train(
+            small_design, episodes_per_update=2, batch_episodes=2
+        )
+        second = self._train(
+            small_design, episodes_per_update=2, batch_episodes=2
+        )
+        assert first == second
