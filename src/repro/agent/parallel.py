@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import tracing
 from repro.ccd.flow import (
     FlowConfig,
     NetlistState,
@@ -161,6 +162,11 @@ class RewardCache:
         else:
             self.hits += 1
             obs.incr("rollout.cache_hit")
+        if tracing.enabled():
+            tracing.instant(
+                "rollout.cache",
+                {"hit": reward is not None, "selection_size": len(selection)},
+            )
         return reward
 
     def put(self, selection: Sequence[int], reward: FlowReward) -> None:
@@ -176,14 +182,28 @@ class RewardCache:
 # ---------------------------------------------------------------------- #
 # Worker side
 # ---------------------------------------------------------------------- #
-def _task_message(task_id: int, attempt: int, selection: Sequence[int]) -> tuple:
+def _task_message(
+    task_id: int,
+    attempt: int,
+    selection: Sequence[int],
+    trace_parent: Optional[str] = None,
+) -> tuple:
     """The *entire* per-task IPC payload — O(selection), never the netlist.
 
     A regression test pickles this and asserts it stays orders of magnitude
     smaller than the design (the pre-pool implementation re-pickled the
-    whole netlist into every task).
+    whole netlist into every task).  ``trace_parent`` is the submitting
+    side's open span id (or ``None`` with tracing off): the worker opens
+    its ``rollout.task`` span with it, which is what re-parents worker-side
+    trace events under the submitting rollout step.
     """
-    return ("task", int(task_id), int(attempt), tuple(int(s) for s in selection))
+    return (
+        "task",
+        int(task_id),
+        int(attempt),
+        tuple(int(s) for s in selection),
+        trace_parent,
+    )
 
 
 def _heartbeat_loop(heartbeat) -> None:
@@ -205,14 +225,21 @@ def _apply_fault(action: Optional[str]) -> bool:
 def _worker_main(conn, heartbeat, blob) -> None:
     """Long-lived worker: load the design once, then serve tasks forever.
 
-    ``blob`` — ``(netlist, snapshot, flow_config, obs_enabled, fault_spec)``
-    — is shipped exactly once: inherited copy-on-write under ``fork``,
-    pickled once per worker under ``spawn``.  Tasks arriving on ``conn``
-    carry only the selection.
+    ``blob`` — ``(netlist, snapshot, flow_config, obs_enabled, fault_spec,
+    trace_ctx)`` — is shipped exactly once: inherited copy-on-write under
+    ``fork``, pickled once per worker under ``spawn``.  Tasks arriving on
+    ``conn`` carry only the selection (plus the submitter's span id).
+    ``trace_ctx`` (``None`` with tracing off) activates a *buffered* tracer:
+    workers never write the sink file; their span events ship back inside
+    result messages and the parent replays them, which behaves identically
+    under fork and spawn.
     """
-    netlist, snapshot, flow_config, obs_enabled, fault_spec = blob
-    if obs_enabled:
+    netlist, snapshot, flow_config, obs_enabled, fault_spec, trace_ctx = blob
+    if obs_enabled or trace_ctx is not None:
         obs.enable()
+    # Fork children inherit the parent's tracer (sink closure included);
+    # drop it before optionally installing the buffered one below.
+    tracing.child_reset()
     # Warm-up: one empty-selection flow faults in the copy-on-write pages
     # (fork) and per-process caches that the first flow run touches, so the
     # first *real* task is not billed for process warm-up (the smoke-scale
@@ -229,6 +256,8 @@ def _worker_main(conn, heartbeat, blob) -> None:
     gc.collect()
     gc.freeze()
     obs.child_reset()
+    if trace_ctx is not None:
+        tracing.enable_buffered(trace_ctx["trace_id"], trace_ctx["worker"])
     # Ready goes out before the first heartbeat, so a nonzero heartbeat
     # timestamp implies the ready message is already in the pipe.
     conn.send(("ready", os.getpid()))
@@ -240,20 +269,50 @@ def _worker_main(conn, heartbeat, blob) -> None:
             break
         if message[0] == "stop":
             break
-        _, task_id, attempt, selection = message
+        _, task_id, attempt, selection, trace_parent = message
         corrupt = _apply_fault(
             fault_spec.get((task_id, attempt)) if fault_spec else None
         )
         obs.child_reset()
         try:
-            reward = _evaluate_one((netlist, snapshot, flow_config, list(selection)))
+            with obs.span(
+                "rollout.task",
+                attrs={
+                    "task_id": task_id,
+                    "attempt": attempt,
+                    "selection_size": len(selection),
+                },
+                trace_parent=trace_parent,
+            ):
+                reward = _evaluate_one(
+                    (netlist, snapshot, flow_config, list(selection))
+                )
         except BaseException as exc:  # noqa: BLE001 — report, don't die
-            conn.send(("err", task_id, attempt, f"{type(exc).__name__}: {exc}"))
+            conn.send(
+                (
+                    "err",
+                    task_id,
+                    attempt,
+                    f"{type(exc).__name__}: {exc}",
+                    tracing.drain_buffer(),
+                )
+            )
             continue
         if corrupt:
-            conn.send(("ok", task_id, attempt, ("not", "a", "reward"), None))
+            conn.send(
+                (
+                    "ok",
+                    task_id,
+                    attempt,
+                    ("not", "a", "reward"),
+                    None,
+                    tracing.drain_buffer(),
+                )
+            )
             continue
-        conn.send(("ok", task_id, attempt, reward, obs.export_state()))
+        conn.send(
+            ("ok", task_id, attempt, reward, obs.export_state(), tracing.drain_buffer())
+        )
     conn.close()
 
 
@@ -376,7 +435,7 @@ class RolloutPool:
         if self.start_method is not None:
             try:
                 self._ctx = multiprocessing.get_context(self.start_method)
-                self._slots = [self._spawn_worker() for _ in range(workers)]
+                self._slots = [self._spawn_worker(i) for i in range(workers)]
             except Exception as exc:  # pragma: no cover — platform-dependent
                 self._log.warning(
                     "rollout pool startup failed (%s); degrading to sequential", exc
@@ -424,7 +483,7 @@ class RolloutPool:
         self.close()
         return False
 
-    def _spawn_worker(self) -> _Worker:
+    def _spawn_worker(self, slot: int) -> _Worker:
         assert self._ctx is not None
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         heartbeat = self._ctx.Value("d", 0.0, lock=False)
@@ -434,6 +493,7 @@ class RolloutPool:
             self.flow_config,
             obs.enabled(),
             self.fault_spec,
+            tracing.worker_context(slot),
         )
         process = self._ctx.Process(
             target=_worker_main,
@@ -510,6 +570,7 @@ class RolloutPool:
                 slot,
                 self.max_worker_restarts,
             )
+            tracing.instant("rollout.slot_retired", {"slot": slot})
             self._slots[slot] = worker  # keep the dead slot for bookkeeping
             worker.pending.clear()
             worker.deadline = None
@@ -519,7 +580,8 @@ class RolloutPool:
         if delay > 0:
             time.sleep(delay)
         self._count("worker_restarts")
-        replacement = self._spawn_worker()
+        tracing.instant("rollout.respawn", {"slot": slot, "restarts": restarts})
+        replacement = self._spawn_worker(slot)
         replacement.restarts = restarts
         self._slots[slot] = replacement
 
@@ -554,8 +616,16 @@ class RolloutPool:
             queue.appendleft(entry)
         if attempt + 1 > self.max_retries:
             self._count("sequential_fallbacks")
+            tracing.instant(
+                "rollout.degrade",
+                {"task_id": task_id, "attempt": attempt, "reason": reason},
+            )
             results[index] = self._evaluate_sequential(selections[index])
         else:
+            tracing.instant(
+                "rollout.retry",
+                {"task_id": task_id, "attempt": attempt + 1, "reason": reason},
+            )
             queue.appendleft((index, task_id, attempt + 1))
 
     def _evaluate_sequential(self, selection: Sequence[int]) -> FlowReward:
@@ -590,7 +660,10 @@ class RolloutPool:
                 queue.append((index, self._next_task_id, 0))
                 self._next_task_id += 1
 
-        with obs.span("rollout.evaluate"):
+        with obs.span(
+            "rollout.evaluate",
+            attrs={"tasks": len(queue), "cache_hits": len(selections) - len(queue)},
+        ):
             if self.start_method is None or self.alive_workers() == 0:
                 for index, _, _ in queue:
                     results[index] = self._evaluate_sequential(selections[index])
@@ -613,10 +686,21 @@ class RolloutPool:
         selections: Sequence[Sequence[int]],
     ) -> None:
         start = time.monotonic()
+        # The id of the open ``rollout.evaluate`` span: every task message
+        # carries it so worker-side spans re-parent under this step.
+        trace_parent = tracing.current_span_id()
         while queue or any(w.pending for w in self._slots):
             now = time.monotonic()
             # No live worker left → graceful degradation for the remainder.
             if self.alive_workers() == 0:
+                if tracing.enabled():
+                    remaining = len(queue) + sum(
+                        len(w.pending) for w in self._slots
+                    )
+                    tracing.instant(
+                        "rollout.degrade",
+                        {"reason": "no live workers", "tasks": remaining},
+                    )
                 for worker in self._slots:
                     while worker.pending:
                         index, _, _ = worker.pending.popleft()
@@ -649,7 +733,9 @@ class RolloutPool:
                         index, task_id, attempt = queue.popleft()
                         try:
                             worker.conn.send(
-                                _task_message(task_id, attempt, selections[index])
+                                _task_message(
+                                    task_id, attempt, selections[index], trace_parent
+                                )
                             )
                         except (OSError, ValueError):
                             # Dead pipe: the unsent task goes straight back
@@ -665,6 +751,15 @@ class RolloutPool:
                                 self._respawn_slot(slot)
                             break
                         worker.pending.append((index, task_id, attempt))
+                        if tracing.enabled():
+                            tracing.instant(
+                                "rollout.submit",
+                                {
+                                    "task_id": task_id,
+                                    "attempt": attempt,
+                                    "slot": slot,
+                                },
+                            )
                         if worker.deadline is None:
                             worker.deadline = now + self.task_timeout
             obs.gauge(
@@ -697,20 +792,24 @@ class RolloutPool:
                 if kind == "ready":
                     worker.ready = True
                     continue
+                # Worker-shipped trace events are replayed into the sink
+                # even for stale results — the flow work really happened;
+                # the trace should show it.
+                tracing.ingest(message[-1])
                 if not worker.pending:
                     continue  # stale result from a task already failed over
                 # The worker serves its pipe FIFO, so a live result always
                 # answers the head of ``pending``.
                 index, task_id, attempt = worker.pending[0]
                 if kind == "err":
-                    _, r_task, r_attempt, detail = message
+                    _, r_task, r_attempt, detail, _events = message
                     if (r_task, r_attempt) != (task_id, attempt):
                         continue
                     self._fail_task(
                         slot, f"worker error: {detail}", results, queue, selections
                     )
                     continue
-                _, r_task, r_attempt, reward, child_state = message
+                _, r_task, r_attempt, reward, child_state, _events = message
                 if (r_task, r_attempt) != (task_id, attempt):
                     continue  # stale: the task was retried elsewhere
                 if not _valid_reward(reward, selections[index]):

@@ -247,7 +247,7 @@ def train_rlccd(
             record.num_selected,
             record.advantage,
         )
-        if obs.tracing():
+        if obs.records_active():
             selection_counts.update(selection)
             gamma = getattr(policy, "epgnn", None)
             pending_records.append(
@@ -309,7 +309,9 @@ def train_rlccd(
                 # sharing one batched encode+decode pass per time step.  All
                 # chunk tapes are held until the gradient step, like the
                 # pool branch below.
-                with obs.span("agent.rollout"):
+                with obs.span(
+                    "agent.rollout", attrs={"episode": episode, "batch": batch_size}
+                ):
                     trajectories = []
                     while len(trajectories) < batch_size:
                         chunk = min(
@@ -336,7 +338,7 @@ def train_rlccd(
                                     incremental=config.incremental_gnn,
                                 )
                             )
-                with obs.span("agent.flow_eval"):
+                with obs.span("agent.flow_eval", attrs={"episode": episode}):
                     selections = [t.action_cells for t in trajectories]
                     if pool is not None:
                         rewards = pool.evaluate(selections)
@@ -356,7 +358,9 @@ def train_rlccd(
             elif pool is not None:
                 # Parallel reward evaluation (paper's farm training, §IV-A):
                 # all batch trajectories' tapes are held while workers run.
-                with obs.span("agent.rollout"):
+                with obs.span(
+                    "agent.rollout", attrs={"episode": episode, "batch": batch_size}
+                ):
                     trajectories = [
                         policy.rollout(
                             env,
@@ -367,7 +371,7 @@ def train_rlccd(
                         )
                         for _ in range(batch_size)
                     ]
-                with obs.span("agent.flow_eval"):
+                with obs.span("agent.flow_eval", attrs={"episode": episode}):
                     rewards = pool.evaluate(
                         [t.action_cells for t in trajectories]
                     )
@@ -379,7 +383,7 @@ def train_rlccd(
                 # Sequential: interleave rollout → evaluate → backward so only
                 # one trajectory's autograd tape is alive at a time.
                 for _ in range(batch_size):
-                    with obs.span("agent.rollout"):
+                    with obs.span("agent.rollout", attrs={"episode": episode}):
                         trajectory = policy.rollout(
                             env,
                             rng=rng,
@@ -387,7 +391,7 @@ def train_rlccd(
                             with_entropy=config.entropy_coefficient > 0,
                             incremental=config.incremental_gnn,
                         )
-                    with obs.span("agent.flow_eval"):
+                    with obs.span("agent.flow_eval", attrs={"episode": episode}):
                         (flow_reward,) = evaluate_selections(
                             env.netlist,
                             flow_config,
@@ -400,7 +404,7 @@ def train_rlccd(
                     batch_improved = batch_improved or improved
                     del trajectory
 
-            with obs.span("agent.update"):
+            with obs.span("agent.update", attrs={"episode": episode}):
                 grad_norm = clip_gradient_norm(
                     policy.parameters(), config.gradient_clip
                 )
@@ -427,7 +431,7 @@ def train_rlccd(
                     converged = True
                     break
     finally:
-        if obs.tracing() and (pool is not None or cache is not None):
+        if obs.records_active() and (pool is not None or cache is not None):
             stats: Dict[str, Any] = (
                 pool.stats()
                 if pool is not None
@@ -452,7 +456,7 @@ def train_rlccd(
             env.netlist, flow_config, prioritized_endpoints=best_selection
         )
     restore_netlist_state(env.netlist, snapshot)
-    if obs.tracing():
+    if obs.records_active():
         obs.emit(
             "train",
             {

@@ -99,7 +99,7 @@ def run_flow(
     """
     watch = obs.Stopwatch()
     prioritized = [int(e) for e in prioritized_endpoints]
-    with obs.span("flow.run"):
+    with obs.span("flow.run", attrs={"prioritized": len(prioritized)}):
         analyzer = TimingAnalyzer(netlist, incremental=config.incremental_sta)
         clock = ClockModel.for_netlist(netlist, config.clock_period)
 
@@ -145,7 +145,7 @@ def run_flow(
     runtime = watch.elapsed
     obs.gauge("flow.endpoints", begin_summary.num_endpoints)
 
-    if obs.tracing():
+    if obs.records_active():
         obs.emit(
             "flow",
             {

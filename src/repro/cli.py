@@ -23,10 +23,20 @@ Global observability flags (before the subcommand):
   override is logged);
 * ``--profile`` — additionally wrap the command in cProfile + tracemalloc
   and append one ``profile`` record to the trace (requires a trace sink);
+* ``--trace-events`` — additionally record every ``obs.span`` as an
+  event-level span record (:mod:`repro.obs.tracing`; requires a trace
+  sink; same as ``REPRO_TRACE_EVENTS=1``) for ``trace export`` / ``watch
+  --spans`` / the report's "Slowest spans" section;
+* ``--metrics-port N`` — serve the live recorder as Prometheus text at
+  ``http://127.0.0.1:N/metrics`` for the duration of the command
+  (:mod:`repro.obs.metrics_export`);
 * ``--no-incremental-sta`` — force full STA recomputes everywhere (same as
   ``REPRO_STA_INCREMENTAL=0``; see ``docs/timing.md``);
 * ``--no-incremental-gnn`` — force full EP-GNN re-encodes in every rollout
   (same as ``REPRO_GNN_INCREMENTAL=0``; see ``docs/policy.md``).
+
+Trace consumers: ``python -m repro trace export|validate`` and
+``python -m repro watch`` (live tail); see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -60,6 +70,22 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="profile the command (cProfile + tracemalloc) and append a "
         "'profile' record to the trace; requires --trace or REPRO_OBS=<path>",
+    )
+    parser.add_argument(
+        "--trace-events",
+        action="store_true",
+        help="record every obs.span as an event-level span record in the "
+        "trace (span id / parent id / wall-clock / attrs; see 'trace "
+        "export' and 'watch --spans'); requires --trace or REPRO_OBS=<path>",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the live recorder in Prometheus text format at "
+        "http://127.0.0.1:PORT/metrics while the command runs (0 picks "
+        "a free port)",
     )
     parser.add_argument(
         "--no-incremental-sta",
@@ -227,6 +253,57 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the rendered report to PATH",
     )
+
+    watch = sub.add_parser(
+        "watch",
+        help="tail a JSONL trace and print streaming per-episode/phase progress",
+    )
+    watch.add_argument(
+        "trace",
+        metavar="TRACE",
+        help="JSONL trace a running train/bench is appending to "
+        "(may not exist yet; watch waits for it)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="print what the trace holds now and exit instead of following",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval while following (default 0.5)",
+    )
+    watch.add_argument(
+        "--spans",
+        action="store_true",
+        help="also print one line per span event (high volume; needs a "
+        "trace written with --trace-events)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="event-trace utilities over a JSONL trace (export, validate)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export",
+        help="convert span records to Chrome trace-event / Perfetto JSON",
+    )
+    export.add_argument("trace", metavar="TRACE", help="JSONL trace to convert")
+    export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: <trace>.perfetto.json)",
+    )
+    validate = trace_sub.add_parser(
+        "validate",
+        help="check every record in a trace against the versioned schema",
+    )
+    validate.add_argument("trace", metavar="TRACE", help="JSONL trace to validate")
     return parser
 
 
@@ -263,23 +340,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         gnn_incremental.set_incremental(False)
         log.info("incremental EP-GNN encoding disabled for this invocation")
 
-    if args.profile:
-        if not obs.tracing():
+    if args.trace_events:
+        if not obs.records_active():
             print(
-                "error: --profile needs a trace sink; pass --trace PATH or "
-                "set REPRO_OBS=<path>",
+                "error: --trace-events needs a trace sink; pass --trace PATH "
+                "or set REPRO_OBS=<path>",
                 file=sys.stderr,
             )
             return 2
-        from repro.obs.profiling import Profiler
+        tracer = obs.tracing.enable()
+        log.info("event-level span tracing enabled (trace id %s)", tracer.trace_id)
 
-        with Profiler(command=args.command):
-            return _dispatch(args)
-    return _dispatch(args)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.metrics_export import MetricsServer
+
+        # Metrics without a recorder would be an empty page forever.
+        obs.enable()
+        metrics_server = MetricsServer.start(args.metrics_port)
+        log.info("serving Prometheus metrics at %s", metrics_server.url)
+
+    try:
+        if args.profile:
+            if not obs.records_active():
+                print(
+                    "error: --profile needs a trace sink; pass --trace PATH or "
+                    "set REPRO_OBS=<path>",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.obs.profiling import Profiler
+
+            with Profiler(command=args.command):
+                return _dispatch(args)
+        return _dispatch(args)
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
 
 
 def _dispatch(args: argparse.Namespace) -> int:
     from repro import obs
+
+    # watch/trace are pure record consumers: handled before the benchsuite
+    # imports so tailing a trace never pays (or requires) workload setup.
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+
     from repro.benchsuite.designs import BLOCKS, bench_scale, get_block
     from repro.benchsuite.table2 import Table2Config
 
@@ -422,7 +531,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             f"best TNS: {result.best_tns:+.4f} with "
             f"{len(result.best_selection)} endpoints prioritized"
         )
-        if obs.tracing():
+        if obs.records_active():
             print(f"run records appended to {obs.trace_path()}", file=sys.stderr)
         return 0
 
@@ -507,6 +616,74 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     return 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.watch import follow_records, render_span_line, render_watch_line
+
+    import os
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    if not args.once and not os.path.exists(args.trace):
+        print(f"waiting for {args.trace} ...", file=sys.stderr)
+    try:
+        for record in follow_records(args.trace, interval=args.interval, once=args.once):
+            line = render_watch_line(record)
+            if line is None and args.spans:
+                line = render_span_line(record)
+            if line is not None:
+                print(line, flush=True)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # Downstream pager/head closed; that's a normal way to stop a tail.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "export":
+        from repro.obs.trace_export import export_file
+
+        out = args.out or f"{args.trace}.perfetto.json"
+        try:
+            summary = export_file(args.trace, out)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot export trace {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"wrote {out}: {summary['spans']} spans, "
+            f"{summary['instants']} instants across "
+            f"{summary['processes']} process(es)"
+        )
+        if summary["spans"] + summary["instants"] == 0:
+            print(
+                "note: no span records found; record them with "
+                "--trace-events (or REPRO_TRACE_EVENTS=1)",
+                file=sys.stderr,
+            )
+        return 0
+
+    from repro.obs.trace_schema import validate_trace
+
+    try:
+        counts = validate_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: invalid trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    total = sum(counts.values())
+    breakdown = ", ".join(f"{kind}={n}" for kind, n in sorted(counts.items()))
+    print(f"{args.trace}: {total} record(s) valid ({breakdown or 'empty'})")
+    return 0
 
 
 if __name__ == "__main__":

@@ -409,7 +409,10 @@ class EncoderSession:
         if regions[-1].size > FULL_FALLBACK_FRACTION * self.graph.num_nodes:
             return self._full_encode(features)
 
-        with obs.span("gnn.incremental_encode"):
+        with obs.span(
+            "gnn.incremental_encode",
+            attrs={"dirty": int(dirty.size), "region": int(regions[-1].size)},
+        ):
             embeddings = self._incremental_step(
                 features, mask, regions, region_masks
             )

@@ -62,9 +62,15 @@ from repro.obs.records import (
     read_records,
     set_trace_path,
     trace_path,
-    tracing,
     upgrade_record,
 )
+
+# Whether the JSONL sink is connected.  ``records.tracing`` keeps its name
+# inside the records module, but at the package level ``obs.tracing`` is
+# the *event-tracing submodule* (imported below), so the predicate is
+# re-exported as ``obs.records_active``.
+from repro.obs.records import tracing as records_active
+from repro.obs import tracing  # noqa: E402  (needs core/records bound first)
 
 __all__ = [
     "ENV_VAR",
@@ -89,6 +95,7 @@ __all__ = [
     "incr",
     "merge_state",
     "read_records",
+    "records_active",
     "reset",
     "set_trace_path",
     "set_verify",

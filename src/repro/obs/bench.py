@@ -36,6 +36,7 @@ from __future__ import annotations
 import datetime
 import gc
 import json
+import math
 import os
 import platform
 from dataclasses import dataclass
@@ -185,6 +186,7 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         rollout_compare = _compare_rollout_engines(workload, config)
         policy_compare = _compare_policy_engines(workload)
         batch_compare = _compare_batch_engines(workload, config)
+        obs_compare = _compare_trace_overhead(workload)
 
         state = obs.get_recorder().export_state()
         total = watch.elapsed
@@ -220,6 +222,7 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         "rollout": rollout_compare,
         "policy": policy_compare,
         "batch": batch_compare,
+        "obs": obs_compare,
         "total_seconds": total,
         "host": {
             "python": platform.python_version(),
@@ -273,6 +276,71 @@ def _compare_sta_engines(workload: Workload) -> Dict[str, Any]:
         out[f"{field[:-8]}_speedup"] = (
             out["full"][field] / denominator if denominator > 0 else None
         )
+    return out
+
+
+def _compare_trace_overhead(workload: Workload) -> Dict[str, Any]:
+    """Time the default flow with event tracing off, then on.
+
+    Returns the ``"obs"`` section of the BENCH payload; its
+    ``trace_overhead_s`` lands in the nightly median+MAD gate as the
+    ``section.obs.trace_overhead`` pseudo-phase
+    (:func:`repro.obs.history.section_medians`), so a slow tracer — or a
+    disabled path that stopped being zero-cost — fails CI like any phase
+    regression.  Best-of-N wall time per configuration; the enabled pass
+    writes its span records to a throwaway sink so a real ``--trace`` run
+    is not polluted, and the caller's tracing state is restored either
+    way.
+    """
+    import tempfile
+
+    from repro.ccd.flow import restore_netlist_state, run_flow
+    from repro.obs import tracing
+
+    repeats = 3
+    prev_sink = records.trace_path()
+    prev_events = tracing.enabled()
+    out: Dict[str, Any] = {"flow_runs": repeats}
+    span_records = 0
+    handle = tempfile.NamedTemporaryFile(
+        suffix=".jsonl", prefix="repro-trace-overhead-", delete=False
+    )
+    handle.close()
+    try:
+        for key, events in (("disabled", False), ("enabled", True)):
+            if events:
+                records.set_trace_path(handle.name)
+                tracing.enable()
+            else:
+                tracing.disable()
+            best = math.inf
+            for _ in range(repeats):
+                watch = obs.Stopwatch()
+                run_flow(workload.netlist, workload.flow_config)
+                best = min(best, watch.elapsed)
+                restore_netlist_state(workload.netlist, workload.snapshot)
+            out[key] = {"flow_seconds": best}
+        tracing.disable()
+        records.set_trace_path(prev_sink)
+        span_records = sum(
+            1
+            for record in records.read_records(handle.name)
+            if record.get("kind") == "span"
+        )
+    finally:
+        records.set_trace_path(prev_sink)
+        if prev_events:
+            tracing.enable()
+        else:
+            tracing.disable()
+        try:
+            os.unlink(handle.name)
+        except OSError:  # pragma: no cover — best-effort temp cleanup
+            pass
+    out["span_records_per_flow"] = span_records // repeats
+    out["trace_overhead_s"] = max(
+        0.0, out["enabled"]["flow_seconds"] - out["disabled"]["flow_seconds"]
+    )
     return out
 
 
@@ -648,6 +716,7 @@ def strip_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
             "rollout",
             "policy",
             "batch",
+            "obs",
             "total_seconds",
             "host",
             "git_sha",

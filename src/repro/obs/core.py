@@ -134,19 +134,46 @@ class Recorder:
             self.gauges = {}
 
 
+#: Sentinel ``trace_parent``: the event tracer (when installed) parents the
+#: span under whatever span is open on the current thread.  An explicit id
+#: (or ``None`` for a root span) overrides the stack — the rollout pool uses
+#: that to re-parent worker-side spans under the submitting task.
+TRACE_INHERIT = object()
+
+
 class Span:
     """Recording timer context manager (only built while enabled)."""
 
-    __slots__ = ("name", "_recorder", "_start", "elapsed")
+    __slots__ = (
+        "name",
+        "attrs",
+        "_recorder",
+        "_start",
+        "elapsed",
+        "_trace",
+        "_trace_parent",
+    )
 
-    def __init__(self, name: str, recorder: Recorder):
+    def __init__(
+        self,
+        name: str,
+        recorder: Recorder,
+        attrs: Optional[Dict[str, Any]] = None,
+        trace_parent: Any = TRACE_INHERIT,
+    ):
         self.name = name
+        self.attrs = attrs
         self._recorder = recorder
         self._start = 0.0
         self.elapsed: Optional[float] = None
+        self._trace = None
+        self._trace_parent = trace_parent
 
     def __enter__(self) -> "Span":
         self._recorder._stack().append(self.name)
+        tracer = _tracer
+        if tracer is not None:
+            self._trace = tracer.begin(self.name, self._trace_parent)
         self._start = time.perf_counter()
         return self
 
@@ -155,6 +182,10 @@ class Span:
         stack = self._recorder._stack()
         if stack and stack[-1] == self.name:
             stack.pop()
+        token = self._trace
+        if token is not None:
+            self._trace = None
+            token.finish(self.elapsed, self.attrs)
         self._recorder.add_phase(self.name, self.elapsed)
         return False
 
@@ -201,6 +232,22 @@ _recorder = Recorder()
 _enabled: bool = bool(os.environ.get(ENV_VAR, "").strip())
 _verify: bool = os.environ.get(VERIFY_ENV_VAR, "").strip().lower() in _TRUTHY
 
+#: Installed event tracer (see :mod:`repro.obs.tracing`) or ``None``.  Spans
+#: check this exactly once per ``__enter__``; with no tracer installed the
+#: cost is one module-global load + branch, and the disabled-recorder path
+#: (the shared ``_NULL_SPAN``) never reaches it at all.
+_tracer: Optional[Any] = None
+
+
+def set_tracer(tracer: Optional[Any]) -> None:
+    """Install (or remove, with ``None``) the event tracer Span hooks into."""
+    global _tracer
+    _tracer = tracer
+
+
+def get_tracer() -> Optional[Any]:
+    return _tracer
+
 
 def enabled() -> bool:
     """Whether the recorder is live (module flag; the disabled fast path)."""
@@ -233,11 +280,21 @@ def get_recorder() -> Recorder:
     return _recorder
 
 
-def span(name: str):
-    """Phase-timer context manager; a shared no-op while disabled."""
+def span(
+    name: str,
+    attrs: Optional[Dict[str, Any]] = None,
+    trace_parent: Any = TRACE_INHERIT,
+):
+    """Phase-timer context manager; a shared no-op while disabled.
+
+    ``attrs`` (a plain dict, attached to the trace event on exit) and
+    ``trace_parent`` (an explicit parent span id) only matter when the event
+    tracer is installed; both are explicit parameters rather than ``**kwargs``
+    so the common ``span("name")`` call allocates nothing extra.
+    """
     if not _enabled:
         return _NULL_SPAN
-    return Span(name, _recorder)
+    return Span(name, _recorder, attrs, trace_parent)
 
 
 def incr(name: str, amount: float = 1.0) -> None:

@@ -87,6 +87,11 @@ def section_medians(payload: Mapping[str, Any]) -> Dict[str, float]:
             seconds = (section.get(engine) or {}).get("per_episode_s")
             if seconds is not None:
                 out[f"section.batch.{mode}.{engine}"] = float(seconds)
+    # Event-tracing overhead per flow run (PR 7): pins both the tracer's
+    # cost when on and the "disabled path is zero-cost" claim when off.
+    overhead = (payload.get("obs") or {}).get("trace_overhead_s")
+    if overhead is not None:
+        out["section.obs.trace_overhead"] = float(overhead)
     return out
 
 

@@ -1,0 +1,179 @@
+"""Prometheus text-exposition export of the live recorder.
+
+Renders the process-global recorder (:mod:`repro.obs.core`) — counters,
+gauges and per-phase duration histograms — in the Prometheus text format
+(version 0.0.4), and serves it from long-running ``train``/``bench`` runs
+via a stdlib ``http.server`` endpoint behind the ``--metrics-port`` CLI
+flag.  Families:
+
+* ``repro_counter_total{name="..."}`` — the recorder's counters;
+* ``repro_gauge{name="..."}`` — last-value gauges;
+* ``repro_phase_duration_seconds{phase="..."}`` — cumulative histogram
+  (``_bucket``/``_sum``/``_count``) over each phase's span durations;
+* ``repro_build_info{git_sha="...", python="..."}`` — constant ``1``.
+
+Everything is stdlib-only (the container rule: no new dependencies); the
+server runs ``ThreadingHTTPServer`` on a daemon thread so scrapes never
+block the training loop, and reads go through the recorder's own lock via
+``export_state``-style snapshots.
+"""
+
+from __future__ import annotations
+
+import platform
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, List, Mapping, Optional
+
+from repro.obs import core
+from repro.obs import records as obs_records
+
+#: Histogram bucket upper bounds (seconds).  Flow phases at smoke scale sit
+#: in the 1 ms – 1 s range; full designs push into the tail buckets.
+BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return f"{bound:g}"
+
+
+def render_prometheus(state: Optional[Mapping[str, Any]] = None) -> str:
+    """The recorder's current contents in Prometheus text exposition format.
+
+    ``state`` defaults to a snapshot of the live global recorder; passing
+    an explicit ``Recorder.export_state()`` dict makes the renderer
+    testable without touching process globals.
+    """
+    if state is None:
+        state = core.get_recorder().export_state()
+    lines: List[str] = []
+
+    counters = state.get("counters", {})
+    lines.append("# HELP repro_counter_total Monotonic counters from the repro recorder.")
+    lines.append("# TYPE repro_counter_total counter")
+    for name in sorted(counters):
+        lines.append(
+            f'repro_counter_total{{name="{_escape_label(name)}"}} '
+            f"{_format_value(counters[name])}"
+        )
+
+    gauges = state.get("gauges", {})
+    lines.append("# HELP repro_gauge Last-value gauges from the repro recorder.")
+    lines.append("# TYPE repro_gauge gauge")
+    for name in sorted(gauges):
+        lines.append(
+            f'repro_gauge{{name="{_escape_label(name)}"}} '
+            f"{_format_value(gauges[name])}"
+        )
+
+    phases = state.get("phases", {})
+    lines.append(
+        "# HELP repro_phase_duration_seconds Distribution of span durations per phase."
+    )
+    lines.append("# TYPE repro_phase_duration_seconds histogram")
+    for name in sorted(phases):
+        stats = phases[name]
+        durations = [float(d) for d in stats.get("durations", [])]
+        label = _escape_label(name)
+        cumulative = 0
+        for bound in BUCKETS:
+            cumulative = sum(1 for d in durations if d <= bound)
+            lines.append(
+                f'repro_phase_duration_seconds_bucket{{phase="{label}",'
+                f'le="{_format_bound(bound)}"}} {cumulative}'
+            )
+        lines.append(
+            f'repro_phase_duration_seconds_bucket{{phase="{label}",le="+Inf"}} '
+            f"{len(durations)}"
+        )
+        lines.append(
+            f'repro_phase_duration_seconds_sum{{phase="{label}"}} '
+            f"{_format_value(sum(durations))}"
+        )
+        lines.append(
+            f'repro_phase_duration_seconds_count{{phase="{label}"}} {len(durations)}'
+        )
+
+    lines.append("# HELP repro_build_info Build metadata (constant 1).")
+    lines.append("# TYPE repro_build_info gauge")
+    lines.append(
+        f'repro_build_info{{git_sha="{_escape_label(obs_records.git_sha())}",'
+        f'python="{_escape_label(platform.python_version())}"}} 1'
+    )
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # scrapes must not spam the training logs
+
+
+class MetricsServer:
+    """Daemon-threaded ``/metrics`` endpoint over the global recorder."""
+
+    def __init__(self, server: ThreadingHTTPServer, thread: threading.Thread) -> None:
+        self._server = server
+        self._thread = thread
+
+    @classmethod
+    def start(cls, port: int, host: str = "127.0.0.1") -> "MetricsServer":
+        """Bind and serve (``port=0`` picks a free port — used in tests)."""
+        server = ThreadingHTTPServer((host, port), _MetricsHandler)
+        server.daemon_threads = True
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-metrics", daemon=True
+        )
+        thread.start()
+        return cls(server, thread)
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

@@ -173,17 +173,29 @@ def read_records(path: str, upgrade: bool = True) -> list:
     """
     records = []
     with open(path) as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
+        lines = handle.readlines()
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
             record = json.loads(line)
-            if record.get("schema") not in SUPPORTED_SCHEMAS:
-                raise ValueError(
-                    f"record schema {record.get('schema')!r} not in "
-                    f"{SUPPORTED_SCHEMAS} at {path}:{number}"
-                )
-            records.append(upgrade_record(record) if upgrade else record)
+        except ValueError:
+            # A final line with no trailing newline is a record the writer
+            # never finished (process killed mid-append); live readers
+            # (watch/report on a running trace) skip it instead of dying.
+            # Corrupt *complete* lines still raise — they mean the file is
+            # damaged, not merely in flight.
+            if number == len(lines) and not raw.endswith("\n"):
+                core.incr("obs.records.truncated")
+                break
+            raise
+        if record.get("schema") not in SUPPORTED_SCHEMAS:
+            raise ValueError(
+                f"record schema {record.get('schema')!r} not in "
+                f"{SUPPORTED_SCHEMAS} at {path}:{number}"
+            )
+        records.append(upgrade_record(record) if upgrade else record)
     return records
 
 

@@ -21,6 +21,9 @@ from repro.viz.ascii_plots import line_plot, sparkline
 #: Endpoints shown in the selection-frequency heat (most-selected first).
 MAX_FREQUENCY_ROWS = 20
 
+#: Span events shown in the "Slowest spans" section (longest first).
+MAX_SLOW_SPANS = 10
+
 _BAR_WIDTH = 30
 
 
@@ -65,6 +68,7 @@ def render_report(
     trains = grouped.get("train", [])
     profiles = grouped.get("profile", [])
     rollouts = grouped.get("rollout", [])
+    spans = grouped.get("span", [])
 
     lines: List[str] = [f"# repro run report — {source}", ""]
     kinds = ", ".join(f"{kind}: {len(grouped[kind])}" for kind in sorted(grouped))
@@ -97,6 +101,8 @@ def render_report(
         lines.extend(_render_rollout(rollouts))
     if flows:
         lines.extend(_render_flow_phases(flows, history, last_n))
+    if spans:
+        lines.extend(_render_slowest_spans(spans))
     if profiles:
         lines.extend(_render_profile(profiles[-1]))
     return "\n".join(lines).rstrip()
@@ -301,6 +307,71 @@ def _render_flow_phases(
                     f"| {status} |"
                 )
         lines.append(row)
+    lines.append("")
+    return lines
+
+
+def _ancestry(
+    span: Mapping[str, Any], by_id: Mapping[str, Mapping[str, Any]]
+) -> str:
+    """Outermost-first ``a > b > c`` path of a span's named ancestors.
+
+    Parents missing from the trace (e.g. the root of a truncated file)
+    surface as ``…``; a cycle guard bounds the walk in case of corrupt
+    parent links.
+    """
+    names: List[str] = []
+    seen = set()
+    parent_id = span.get("parent_id")
+    while parent_id is not None and parent_id not in seen:
+        seen.add(parent_id)
+        parent = by_id.get(parent_id)
+        if parent is None:
+            names.append("…")
+            break
+        names.append(str(parent.get("name", "?")))
+        parent_id = parent.get("parent_id")
+    names.reverse()
+    names.append(str(span.get("name", "?")))
+    return " > ".join(names)
+
+
+def _render_slowest_spans(spans: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Top-N span events by duration, with where they ran and their
+    ancestry path — the "what actually took the time" view the aggregated
+    phase table cannot give."""
+    lines = ["## Slowest spans", ""]
+    complete = [s for s in spans if s.get("ph") == "X"]
+    instants = len(spans) - len(complete)
+    lines.append(
+        f"- span events: {len(spans)} ({len(complete)} spans, "
+        f"{instants} instants)"
+    )
+    if not complete:
+        lines.append("")
+        return lines
+    by_id = {
+        str(s.get("span_id")): s for s in spans if s.get("span_id") is not None
+    }
+    ranked = sorted(
+        complete,
+        key=lambda s: (
+            -float(s.get("dur", 0.0)),
+            str(s.get("name", "")),
+            str(s.get("span_id", "")),
+        ),
+    )[:MAX_SLOW_SPANS]
+    lines.append("")
+    lines.append("| span | where | duration | path |")
+    lines.append("|:---|:---|---:|:---|")
+    for span in ranked:
+        worker = span.get("worker")
+        where = "main" if worker is None else f"worker {worker}"
+        lines.append(
+            f"| {span.get('name', '?')} | {where} "
+            f"| {1e3 * float(span.get('dur', 0.0)):.3f} ms "
+            f"| `{_ancestry(span, by_id)}` |"
+        )
     lines.append("")
     return lines
 

@@ -1,0 +1,112 @@
+"""Chrome trace-event / Perfetto export of span records.
+
+``python -m repro trace export run.jsonl`` converts the ``kind: "span"``
+lines of a JSONL trace (:mod:`repro.obs.tracing`) into the Chrome
+trace-event JSON object format — ``{"traceEvents": [...]}`` — that both
+``chrome://tracing`` and https://ui.perfetto.dev open directly.
+
+Track mapping: each emitting process is its own *pid* track (the parent
+plus one per pool worker, since every worker is a separate process), and
+the *tid* encodes the worker slot (``0`` for the parent's main thread,
+``slot + 1`` for workers) so respawned workers land on their slot's track
+rather than spawning a new anonymous one.  ``ph: "M"`` metadata events
+name the tracks.  Parent links are preserved in ``args`` — span ids stay
+pid-prefixed and therefore globally unique — which is what makes
+worker-side spans visibly belong to their submitting rollout step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.obs import records as obs_records
+
+
+def _track(record: Mapping[str, Any]) -> Tuple[int, int]:
+    worker = record.get("worker")
+    tid = 0 if worker is None else int(worker) + 1
+    return int(record.get("pid", 0)), tid
+
+
+def chrome_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Build the Chrome trace-event object from parsed run records.
+
+    Non-span records are ignored (the JSONL sink interleaves flow/episode
+    records with span events).  Timestamps/durations convert from seconds
+    to the format's microseconds.
+    """
+    events: List[Dict[str, Any]] = []
+    tracks: Dict[Tuple[int, int], int] = {}
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        pid, tid = _track(record)
+        tracks.setdefault((pid, tid), len(tracks))
+        args = dict(record.get("attrs") or {})
+        args["span_id"] = record.get("span_id")
+        if record.get("parent_id") is not None:
+            args["parent_id"] = record.get("parent_id")
+        args["trace_id"] = record.get("trace_id")
+        event: Dict[str, Any] = {
+            "name": str(record.get("name", "")),
+            "cat": "repro",
+            "pid": pid,
+            "tid": tid,
+            "ts": float(record.get("ts", 0.0)) * 1e6,
+            "args": args,
+        }
+        if record.get("ph") == "i":
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant marker
+        else:
+            event["ph"] = "X"
+            event["dur"] = float(record.get("dur", 0.0)) * 1e6
+        events.append(event)
+
+    metadata: List[Dict[str, Any]] = []
+    seen_pids = set()
+    for pid, tid in sorted(tracks):
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            process = "repro main" if tid == 0 else f"repro worker {tid - 1}"
+            metadata.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        thread = "main" if tid == 0 else f"slot {tid - 1}"
+        metadata.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def export_file(trace_path: str, out_path: str) -> Dict[str, int]:
+    """Read ``trace_path``, write the Chrome JSON to ``out_path``.
+
+    Returns a small summary (span events, instants, distinct processes)
+    for the CLI to print.
+    """
+    import json
+
+    records = obs_records.read_records(trace_path)
+    trace = chrome_trace(records)
+    with open(out_path, "w") as handle:
+        json.dump(trace, handle, sort_keys=True)
+        handle.write("\n")
+    events = [e for e in trace["traceEvents"] if e["ph"] in ("X", "i")]
+    return {
+        "spans": sum(1 for e in events if e["ph"] == "X"),
+        "instants": sum(1 for e in events if e["ph"] == "i"),
+        "processes": len({e["pid"] for e in events}),
+    }

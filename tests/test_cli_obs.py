@@ -190,3 +190,164 @@ class TestTrainAndProfile:
         assert profile["command"] == "train"
         assert profile["top_functions"]
         assert profile["memory_peak_kb"] > 0.0
+
+
+class TestTraceEventsFlag:
+    def test_trace_events_without_sink_is_an_error(self, capsys):
+        rc = main(["--trace-events", "blocks"])
+        assert rc == 2
+        assert "--trace-events needs a trace sink" in capsys.readouterr().err
+
+    def test_trace_events_records_spans(self, tmp_path, capsys):
+        from repro.obs import tracing
+
+        trace = str(tmp_path / "events.jsonl")
+        try:
+            rc = main(
+                ["--trace", trace, "--trace-events", "train", "--episodes",
+                 "1", "--cells", "240"]
+            )
+        finally:
+            tracing.disable()
+        assert rc == 0
+        spans = [r for r in obs.read_records(trace) if r["kind"] == "span"]
+        assert spans
+        names = {r["name"] for r in spans}
+        assert "flow.run" in names and "agent.rollout" in names
+        assert all(r["trace_schema"] == tracing.TRACE_SCHEMA for r in spans)
+        # One trace id spans the whole invocation.
+        assert len({r["trace_id"] for r in spans}) == 1
+
+
+class TestTraceSubcommands:
+    def _traced_run(self, tmp_path):
+        from repro.obs import tracing
+
+        trace = str(tmp_path / "run.jsonl")
+        try:
+            assert (
+                main(
+                    ["--trace", trace, "--trace-events", "train",
+                     "--episodes", "1", "--cells", "240"]
+                )
+                == 0
+            )
+        finally:
+            tracing.disable()
+        return trace
+
+    def test_export_writes_chrome_json(self, tmp_path, capsys):
+        import json as json_module
+
+        trace = self._traced_run(tmp_path)
+        capsys.readouterr()
+        out = str(tmp_path / "run.perfetto.json")
+        rc = main(["trace", "export", trace, "--out", out])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(out) as handle:
+            doc = json_module.load(handle)
+        assert doc["traceEvents"]
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_export_default_output_path(self, tmp_path, capsys):
+        trace = self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "export", trace]) == 0
+        assert f"{trace}.perfetto.json" in capsys.readouterr().out
+
+    def test_export_missing_trace_is_one_line_error(self, tmp_path, capsys):
+        rc = main(["trace", "export", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot export trace")
+        assert err.count("\n") == 1
+
+    def test_validate_accepts_traced_run(self, tmp_path, capsys):
+        trace = self._traced_run(tmp_path)
+        capsys.readouterr()
+        rc = main(["trace", "validate", trace])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "valid" in out and "span=" in out
+
+    def test_validate_rejects_corrupt_payload(self, tmp_path, capsys):
+        import json as json_module
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            json_module.dumps(
+                {"schema": "repro-obs/v2", "kind": "span", "git_sha": "x"}
+            )
+            + "\n"
+        )
+        rc = main(["trace", "validate", str(bad)])
+        assert rc == 2
+        assert "error: invalid trace" in capsys.readouterr().err
+
+
+class TestWatchCommand:
+    def test_watch_once_prints_progress_lines(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert (
+            main(["--trace", trace, "train", "--episodes", "2", "--cells",
+                  "240", "--seed", "0"])
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(["watch", trace, "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "episode" in out and "train" in out
+
+    def test_watch_spans_mode_prints_span_lines(self, tmp_path, capsys):
+        from repro.obs import tracing
+
+        trace = str(tmp_path / "run.jsonl")
+        try:
+            assert (
+                main(["--trace", trace, "--trace-events", "train",
+                      "--episodes", "1", "--cells", "240"])
+                == 0
+            )
+        finally:
+            tracing.disable()
+        capsys.readouterr()
+        assert main(["watch", trace, "--once", "--spans"]) == 0
+        assert "span     [main]" in capsys.readouterr().out
+
+    def test_watch_invalid_interval_is_an_error(self, capsys):
+        rc = main(["watch", "whatever.jsonl", "--once", "--interval", "0"])
+        assert rc == 2
+        assert "--interval must be positive" in capsys.readouterr().err
+
+    def test_watch_once_on_missing_file_is_quietly_empty(self, tmp_path, capsys):
+        rc = main(["watch", str(tmp_path / "nope.jsonl"), "--once"])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestMetricsPortFlag:
+    def test_metrics_port_serves_during_command(self, capsys):
+        # ``blocks`` is instant, so probe the endpoint via a patched
+        # MetricsServer that records its own URL before the command exits.
+        import urllib.request
+
+        from repro.obs import metrics_export
+
+        seen = {}
+        original_start = metrics_export.MetricsServer.start.__func__
+
+        def probing_start(cls, port, host="127.0.0.1"):
+            server = original_start(cls, port, host)
+            with urllib.request.urlopen(server.url) as response:
+                seen["body"] = response.read().decode("utf-8")
+            return server
+
+        metrics_export.MetricsServer.start = classmethod(probing_start)
+        try:
+            rc = main(["--metrics-port", "0", "blocks"])
+        finally:
+            metrics_export.MetricsServer.start = classmethod(original_start)
+        assert rc == 0
+        assert "repro_build_info" in seen["body"]

@@ -253,6 +253,31 @@ class TestRunRecords:
         obs.set_trace_path(None)
         obs.emit("flow", {"endpoints": 3})  # must not raise nor write
 
+    def test_truncated_final_line_is_skipped_and_counted(self, tmp_path):
+        """A writer killed mid-append leaves a torn last line; readers skip
+        it (bumping ``obs.records.truncated``) instead of dying."""
+        path = str(tmp_path / "trace.jsonl")
+        obs.set_trace_path(path)
+        obs.emit("flow", {"endpoints": 3})
+        obs.emit("flow", {"endpoints": 4})
+        with open(path, "a") as handle:
+            handle.write('{"schema": "repro-obs/v2", "kind": "fl')  # no \n
+        obs.enable()
+        records = obs.read_records(path)
+        assert [r["endpoints"] for r in records] == [3, 4]
+        assert obs.get_recorder().counters["obs.records.truncated"] == 1
+
+    def test_corrupt_complete_line_still_raises(self, tmp_path):
+        """Only the unterminated final line is forgiven — a corrupt line
+        *with* a newline means the file is damaged, not in flight."""
+        path = str(tmp_path / "trace.jsonl")
+        obs.set_trace_path(path)
+        obs.emit("flow", {"endpoints": 3})
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+        with pytest.raises(ValueError):
+            obs.read_records(path)
+
 
 class TestLogging:
     def test_setup_is_idempotent(self):
