@@ -1,0 +1,1212 @@
+"""Distributed actor–learner flow evaluation over a socket transport.
+
+This is the multi-host generalization of :class:`repro.agent.parallel.
+RolloutPool` (Circuit Training's "distributed data collection scaling to
+hundreds of actors" shape): a **learner** publishes ``(weights-version,
+selection-task)`` tuples to a task queue served over length-prefixed
+frames (:mod:`repro.agent.transport`), N **actor** processes pull tasks,
+evaluate the placement-optimization flow against their own design
+snapshot, and push rewards — plus their buffered trace spans — back.  The
+learner aggregates results in weights-version order, so training
+histories stay **byte-identical** to the pooled (and sequential) path at
+equal seeds: flows are deterministic, and the transport only moves work,
+never semantics.
+
+The :class:`RolloutPool` fault contract is ported wholesale (see
+``docs/rollout.md``):
+
+* every dispatched task carries a deadline; an actor that exceeds it on
+  its head task is killed and the task retried
+  (``distributed.task_timeouts``);
+* actors heartbeat over the socket from a daemon thread; a frozen actor
+  (e.g. ``SIGSTOP``) goes silent and is detected before the full task
+  timeout (``distributed.actor_crashes``);
+* crashed actors (socket EOF) and corrupt results trigger bounded
+  retries with per-slot respawn + exponential backoff
+  (``distributed.actor_restarts``);
+* when retries are exhausted — or every actor slot is dead/retired — the
+  learner degrades to sequential in-process evaluation, so results are
+  *always* produced and always identical.
+
+The content-addressed :class:`~repro.agent.parallel.RewardCache`
+generalizes into a **shared cache service**: the learner hosts the cache
+behind its own frame listener (:class:`RewardCacheService`), tasks carry
+the precomputed ``sha256(design ‖ config ‖ selection)`` digest, and
+actors consult/populate the service around each flow run
+(:class:`RewardCacheClient`).  Service traffic is timing-dependent, so it
+keeps its own hit/miss/eviction stats and never touches the recorder's
+deterministic counter set.
+
+Single-host CI spawns actors as ``fork``/``spawn`` processes (the design
+blob ships once per actor, exactly like the pool); a remote actor on
+another host runs :func:`run_actor` with the learner's address and
+receives the design blob over the wire at handshake.
+"""
+
+from __future__ import annotations
+
+import base64
+import gc
+import os
+import pickle
+import select
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.obs import tracing
+from repro.agent import transport
+from repro.agent.parallel import (
+    FlowReward,
+    RewardCache,
+    _apply_fault,
+    _evaluate_one,
+    _valid_reward,
+    resolve_start_method,
+)
+from repro.ccd.flow import (
+    FlowConfig,
+    NetlistState,
+    restore_netlist_state,
+    snapshot_netlist_state,
+)
+from repro.netlist.core import Netlist
+
+#: Actor-side heartbeat period (seconds).  Coarser than the pool's
+#: shared-memory heartbeat: each beat is a socket frame, and the learner
+#: only drains them while an evaluate loop is running.
+ACTOR_HEARTBEAT_INTERVAL = 0.2
+
+#: How long a learner-side ``recv`` may stall mid-frame before the peer is
+#: treated as crashed (small frames arrive atomically in practice).
+_LEARNER_IO_TIMEOUT = 5.0
+
+
+# ---------------------------------------------------------------------- #
+# Wire codecs for rewards (JSON round-trips floats exactly)
+# ---------------------------------------------------------------------- #
+def reward_to_wire(reward: FlowReward) -> Dict[str, Any]:
+    return {
+        "tns": reward.tns,
+        "wns": reward.wns,
+        "nve": reward.nve,
+        "power_total": reward.power_total,
+        "num_selected": reward.num_selected,
+    }
+
+
+def reward_from_wire(payload: Any) -> FlowReward:
+    """Decode a wire reward; raises on anything malformed (→ corrupt)."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"not a reward payload: {type(payload).__name__}")
+    return FlowReward(
+        tns=float(payload["tns"]),
+        wns=float(payload["wns"]),
+        nve=int(payload["nve"]),
+        power_total=float(payload["power_total"]),
+        num_selected=int(payload["num_selected"]),
+    )
+
+
+def _encode_blob(blob: Any) -> str:
+    return base64.b64encode(pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)).decode(
+        "ascii"
+    )
+
+
+def _decode_blob(text: str) -> Any:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+# ---------------------------------------------------------------------- #
+# Shared reward-cache service (learner-hosted)
+# ---------------------------------------------------------------------- #
+class RewardCacheService:
+    """Serve a :class:`RewardCache` to actors over the frame transport.
+
+    Protocol (one request, one reply, per frame):
+
+    * ``{"kind": "cache_get", "key": <digest>}`` →
+      ``{"kind": "cache_hit", "reward": {...}}`` or ``{"kind": "cache_miss"}``
+    * ``{"kind": "cache_put", "key": <digest>, "reward": {...}}`` →
+      ``{"kind": "cache_ok"}``
+
+    Keys are the cache's own ``sha256(design digest ‖ flow-config digest ‖
+    selection)`` digests, computed learner-side and shipped inside task
+    frames, so actors never need the digest machinery.  Service-side
+    ``hits``/``misses``/``puts`` are tracked here (remote lookups are
+    timing-dependent — in-batch duplicate selections may or may not hit
+    depending on actor interleaving — so they stay out of the recorder's
+    deterministic ``rollout.cache_*`` counters); evictions surface from the
+    underlying cache.
+    """
+
+    def __init__(
+        self,
+        cache: RewardCache,
+        host: str = "127.0.0.1",
+        codec: str = "json",
+    ) -> None:
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self._lock = threading.Lock()
+        self._listener = transport.FrameListener(host, 0, codec=codec)
+        self._conns: List[transport.FrameConnection] = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, name="repro-cache-service", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._listener.address
+
+    def lookup(self, key: str) -> Optional[FlowReward]:
+        """Learner-local lookup through the service's lock and counters."""
+        with self._lock:
+            reward = self.cache.lookup(key)
+            if reward is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return reward
+
+    def store(self, key: str, reward: FlowReward) -> None:
+        with self._lock:
+            self.puts += 1
+            self.cache.store(key, reward)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.cache.evictions,
+                "entries": len(self.cache),
+            }
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            conns = [c for c in self._conns if not c.closed]
+            self._conns = conns
+            try:
+                readable, _, _ = select.select(
+                    [self._listener] + conns, [], [], 0.1
+                )
+            except (OSError, ValueError):
+                continue  # a connection died between list build and select
+            for ready in readable:
+                if ready is self._listener:
+                    conn = self._listener.accept(0.0)
+                    if conn is not None:
+                        self._conns.append(conn)
+                    continue
+                self._handle(ready)
+
+    def _handle(self, conn: transport.FrameConnection) -> None:
+        try:
+            message = conn.recv()
+        except transport.FrameError:
+            conn.close()
+            return
+        kind = message.get("kind") if isinstance(message, Mapping) else None
+        try:
+            if kind == "cache_get":
+                reward = self.lookup(str(message.get("key", "")))
+                if reward is None:
+                    conn.send({"kind": "cache_miss"})
+                else:
+                    conn.send({"kind": "cache_hit", "reward": reward_to_wire(reward)})
+            elif kind == "cache_put":
+                try:
+                    reward = reward_from_wire(message.get("reward"))
+                except (KeyError, TypeError, ValueError):
+                    conn.send({"kind": "cache_error"})
+                    return
+                self.store(str(message.get("key", "")), reward)
+                conn.send({"kind": "cache_ok"})
+            else:
+                conn.send({"kind": "cache_error"})
+        except transport.FrameError:
+            conn.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._listener.close()
+
+
+class RewardCacheClient:
+    """Actor-side handle on the shared cache service (best-effort).
+
+    The cache is a throughput feature: if the service becomes unreachable
+    the client disables itself and every lookup misses — the actor then
+    just runs the flow, which is always correct.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        codec: str = "json",
+        io_timeout: float = 5.0,
+    ) -> None:
+        self._address = (str(address[0]), int(address[1]))
+        self._codec = codec
+        self._io_timeout = io_timeout
+        self._conn: Optional[transport.FrameConnection] = None
+        self._broken = False
+
+    def _connection(self) -> Optional[transport.FrameConnection]:
+        if self._broken:
+            return None
+        if self._conn is None or self._conn.closed:
+            try:
+                self._conn = transport.connect(
+                    self._address, codec=self._codec, io_timeout=self._io_timeout
+                )
+            except transport.FrameError:
+                self._broken = True
+                return None
+        return self._conn
+
+    def _call(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        conn = self._connection()
+        if conn is None:
+            return None
+        try:
+            conn.send(request)
+            reply = conn.recv()
+        except transport.FrameError:
+            conn.close()
+            self._broken = True
+            return None
+        return reply if isinstance(reply, Mapping) else None
+
+    def get(self, key: str) -> Optional[FlowReward]:
+        reply = self._call({"kind": "cache_get", "key": key})
+        if reply is None or reply.get("kind") != "cache_hit":
+            return None
+        try:
+            return reward_from_wire(reply.get("reward"))
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, reward: FlowReward) -> None:
+        self._call({"kind": "cache_put", "key": key, "reward": reward_to_wire(reward)})
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# Actor side
+# ---------------------------------------------------------------------- #
+def _heartbeat_loop(conn: transport.FrameConnection) -> None:
+    while True:
+        try:
+            conn.send({"kind": "heartbeat"})
+        except transport.FrameError:
+            return
+        time.sleep(ACTOR_HEARTBEAT_INTERVAL)
+
+
+def _actor_main(
+    task_address: Tuple[str, int],
+    slot: int,
+    blob: Optional[tuple],
+    codec: str = "json",
+) -> None:
+    """Actor process body: handshake, then pull tasks until stopped.
+
+    ``blob`` — ``(netlist, snapshot, flow_config, obs_enabled, fault_spec,
+    trace_ctx)`` — ships through process args for locally spawned actors
+    (inherited copy-on-write under ``fork``, pickled once under ``spawn``).
+    A remote actor passes ``blob=None`` and receives the identical tuple
+    base64-pickled inside the handshake reply, so multi-host deployment
+    needs nothing beyond the learner's address.  Tasks carry only the
+    selection, the weights version, the cache digest and the submitter's
+    span id — O(selection) payloads, exactly like the pool.
+    """
+    # Fork children inherit the parent's tracer/recorder; drop both before
+    # this process decides its own observability fate.
+    tracing.child_reset()
+    try:
+        conn = transport.connect(tuple(task_address), codec=codec, timeout=30.0)
+        conn.send({"kind": "hello", "slot": int(slot), "pid": os.getpid(),
+                   "need_design": blob is None})
+        reply = conn.recv()
+    except transport.FrameError:
+        os._exit(11)
+    if not isinstance(reply, Mapping) or reply.get("kind") not in ("welcome", "design"):
+        os._exit(12)
+    if blob is None:
+        blob = _decode_blob(reply["blob"])
+    cache_address = reply.get("cache_address")
+    netlist, snapshot, flow_config, obs_enabled, fault_spec, trace_ctx = blob
+    if obs_enabled or trace_ctx is not None:
+        obs.enable()
+    # Warm-up before ready (mirrors the pool): one empty-selection flow
+    # faults in copy-on-write pages and first-run caches so the first real
+    # task is not billed for process warm-up.
+    try:
+        _evaluate_one((netlist, snapshot, flow_config, []))
+    except BaseException:  # noqa: BLE001 — warm-up must never kill the actor
+        pass
+    gc.collect()
+    gc.freeze()
+    obs.child_reset()
+    if trace_ctx is not None:
+        tracing.enable_buffered(trace_ctx["trace_id"], trace_ctx["worker"])
+    cache = (
+        RewardCacheClient(tuple(cache_address), codec=codec)
+        if cache_address
+        else None
+    )
+    try:
+        conn.send({"kind": "ready", "pid": os.getpid()})
+    except transport.FrameError:
+        os._exit(11)
+    threading.Thread(target=_heartbeat_loop, args=(conn,), daemon=True).start()
+    try:
+        conn.send({"kind": "next"})
+    except transport.FrameError:
+        os._exit(11)
+    while True:
+        try:
+            message = conn.recv()
+        except transport.FrameError:
+            break
+        kind = message.get("kind") if isinstance(message, Mapping) else None
+        if kind == "stop" or kind is None:
+            break
+        if kind != "task":
+            continue
+        # Prefetch: ask for the next task before running this one, so the
+        # learner can pipeline one queued task behind the running one and
+        # per-task round-trip latency overlaps with flow execution.
+        try:
+            conn.send({"kind": "next"})
+        except transport.FrameError:
+            break
+        task_id = int(message["task_id"])
+        attempt = int(message["attempt"])
+        version = int(message["weights_version"])
+        selection = [int(s) for s in message["selection"]]
+        cache_key = message.get("cache_key")
+        corrupt = _apply_fault(
+            fault_spec.get((task_id, attempt)) if fault_spec else None
+        )
+        obs.child_reset()
+        base = {"kind": "result", "task_id": task_id, "attempt": attempt,
+                "weights_version": version}
+        cached = cache.get(cache_key) if (cache is not None and cache_key) else None
+        if cached is not None and not corrupt:
+            tracing.instant(
+                "actor.cache_hit", {"task_id": task_id, "selection_size": len(selection)}
+            )
+            payload = dict(base)
+            payload.update(
+                reward=reward_to_wire(cached), cached=True, obs_state=None,
+                spans=tracing.drain_buffer(),
+            )
+            try:
+                conn.send(payload)
+            except transport.FrameError:
+                break
+            continue
+        try:
+            with obs.span(
+                "actor.task",
+                attrs={
+                    "task_id": task_id,
+                    "attempt": attempt,
+                    "weights_version": version,
+                    "selection_size": len(selection),
+                },
+                trace_parent=message.get("trace_parent"),
+            ):
+                reward = _evaluate_one((netlist, snapshot, flow_config, selection))
+        except BaseException as exc:  # noqa: BLE001 — report, don't die
+            payload = dict(base)
+            payload.update(
+                kind="err",
+                detail=f"{type(exc).__name__}: {exc}",
+                spans=tracing.drain_buffer(),
+            )
+            try:
+                conn.send(payload)
+            except transport.FrameError:
+                break
+            continue
+        if corrupt:
+            payload = dict(base)
+            payload.update(
+                reward=["not", "a", "reward"], cached=False, obs_state=None,
+                spans=tracing.drain_buffer(),
+            )
+            try:
+                conn.send(payload)
+            except transport.FrameError:
+                break
+            continue
+        if cache is not None and cache_key:
+            cache.put(cache_key, reward)
+        payload = dict(base)
+        payload.update(
+            reward=reward_to_wire(reward), cached=False,
+            obs_state=obs.export_state(), spans=tracing.drain_buffer(),
+        )
+        try:
+            conn.send(payload)
+        except transport.FrameError:
+            break
+    if cache is not None:
+        cache.close()
+    conn.close()
+
+
+def run_actor(
+    address: Tuple[str, int], codec: str = "json"
+) -> None:  # pragma: no cover — exercised via subprocess in tests
+    """Join a learner as a *remote* actor (the multi-host entry point).
+
+    Connects to the learner's task listener, fetches the design blob over
+    the wire, and serves tasks until the learner says stop or the
+    connection drops.  Run one per remote core::
+
+        from repro.agent.distributed import run_actor
+        run_actor(("learner-host", 45123))
+    """
+    _actor_main(address, -1, None, codec=codec)
+
+
+# ---------------------------------------------------------------------- #
+# Learner side
+# ---------------------------------------------------------------------- #
+class _Actor:
+    """One learner-side actor slot: process (local) or connection (guest)."""
+
+    __slots__ = (
+        "slot",
+        "process",
+        "conn",
+        "ready",
+        "pending",
+        "deadline",
+        "restarts",
+        "last_seen",
+        "credits",
+        "retired",
+        "guest",
+    )
+
+    def __init__(self, slot: int, process=None, guest: bool = False) -> None:
+        self.slot = slot
+        self.process = process
+        self.conn: Optional[transport.FrameConnection] = None
+        self.ready = False
+        # FIFO of (index, task_id, attempt): one running head plus at most
+        # one prefetched task queued behind it (the actor's "next" credit).
+        self.pending: deque = deque()
+        self.deadline: Optional[float] = None
+        self.restarts = 0
+        self.last_seen = 0.0
+        self.credits = 0
+        self.retired = False
+        self.guest = guest
+
+    def alive(self) -> bool:
+        if self.retired:
+            return False
+        if self.process is not None:
+            return self.process.is_alive()
+        return self.conn is not None and not self.conn.closed
+
+
+class DistributedEvaluator:
+    """Actor–learner farm with the :class:`RolloutPool` evaluate contract.
+
+    Create once per training run, call :meth:`evaluate` per update batch
+    (each call advances the weights version), :meth:`close` when done.
+    Rewards come back in submission order, byte-identical to sequential
+    evaluation regardless of caching, actor failures, retries or which
+    host ran the flow.
+    """
+
+    #: Max tasks in flight per actor (1 running + 1 prefetched).
+    PIPELINE_DEPTH = 2
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        flow_config: FlowConfig,
+        actors: int = 2,
+        snapshot: Optional[NetlistState] = None,
+        task_timeout: float = 120.0,
+        heartbeat_timeout: float = 10.0,
+        actor_start_timeout: float = 60.0,
+        max_retries: int = 2,
+        max_actor_restarts: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        start_method: Optional[str] = None,
+        cache: Optional[RewardCache] = None,
+        fault_spec: Optional[Mapping[Tuple[int, int], str]] = None,
+        host: str = "127.0.0.1",
+        codec: Optional[str] = None,
+    ) -> None:
+        if actors < 1:
+            raise ValueError(f"actors must be >= 1, got {actors}")
+        for name, value in (
+            ("task_timeout", task_timeout),
+            ("heartbeat_timeout", heartbeat_timeout),
+            ("actor_start_timeout", actor_start_timeout),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        self.netlist = netlist
+        self.flow_config = flow_config
+        self.actors = actors
+        self.snapshot = (
+            snapshot if snapshot is not None else snapshot_netlist_state(netlist)
+        )
+        self.task_timeout = float(task_timeout)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.actor_start_timeout = float(actor_start_timeout)
+        self.max_retries = int(max_retries)
+        self.max_actor_restarts = int(max_actor_restarts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.cache = cache
+        self.fault_spec = dict(fault_spec) if fault_spec else None
+        self.host = host
+        self.codec = transport.resolve_codec(codec)
+        self._log = obs.get_logger("agent.distributed")
+        self._next_task_id = 0
+        self._weights_version = 0
+        self._closed = False
+        self._slots: List[_Actor] = []
+        self._ctx = None
+        self._listener: Optional[transport.FrameListener] = None
+        self._pending_conns: List[transport.FrameConnection] = []
+        self.cache_service: Optional[RewardCacheService] = None
+        # Mutable state of the batch being evaluated (None between calls).
+        self._batch: Optional[Dict[str, Any]] = None
+        self.stats_counters: Dict[str, int] = {
+            "batches": 0,
+            "tasks": 0,
+            "actor_restarts": 0,
+            "task_timeouts": 0,
+            "actor_crashes": 0,
+            "corrupt_results": 0,
+            "stale_results": 0,
+            "cached_by_actor": 0,
+            "sequential_fallbacks": 0,
+        }
+
+        self.start_method = resolve_start_method(start_method)
+        if self.start_method is not None:
+            try:
+                import multiprocessing
+
+                self._ctx = multiprocessing.get_context(self.start_method)
+                self._listener = transport.FrameListener(host, 0, codec=self.codec)
+                if self.cache is not None:
+                    self.cache_service = RewardCacheService(
+                        self.cache, host=host, codec=self.codec
+                    )
+                for slot in range(actors):
+                    self._slots.append(self._spawn_actor(slot))
+            except Exception as exc:  # pragma: no cover — platform-dependent
+                self._log.warning(
+                    "distributed learner startup failed (%s); degrading to "
+                    "sequential",
+                    exc,
+                )
+                self._teardown()
+                self.start_method = None
+        if self.start_method is not None:
+            self._await_ready()
+        if self.start_method is None:
+            self._log.debug(
+                "distributed evaluator running sequentially (no actor processes)"
+            )
+
+    # ---- lifecycle --------------------------------------------------- #
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The task listener's (host, port) — what :func:`run_actor` dials."""
+        return self._listener.address if self._listener is not None else None
+
+    @property
+    def weights_version(self) -> int:
+        return self._weights_version
+
+    def __enter__(self) -> "DistributedEvaluator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _blob(self, slot: int) -> tuple:
+        return (
+            self.netlist,
+            self.snapshot,
+            self.flow_config,
+            obs.enabled(),
+            self.fault_spec,
+            tracing.worker_context(slot),
+        )
+
+    def _spawn_actor(self, slot: int) -> _Actor:
+        assert self._ctx is not None and self._listener is not None
+        process = self._ctx.Process(
+            target=_actor_main,
+            args=(self._listener.address, slot, self._blob(slot), self.codec),
+            daemon=True,
+        )
+        process.start()
+        return _Actor(slot, process=process)
+
+    def _kill_actor(self, actor: _Actor) -> None:
+        if actor.conn is not None:
+            actor.conn.close()
+            actor.conn = None
+        if actor.process is not None:
+            try:
+                if actor.process.is_alive():
+                    actor.process.kill()
+                actor.process.join(timeout=5.0)
+            except (OSError, ValueError):  # pragma: no cover — already gone
+                pass
+
+    def _teardown(self) -> None:
+        for actor in self._slots:
+            self._kill_actor(actor)
+        self._slots = []
+        for conn in self._pending_conns:
+            conn.close()
+        self._pending_conns = []
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self.cache_service is not None:
+            self.cache_service.close()
+            self.cache_service = None
+
+    def close(self) -> None:
+        """Stop all actors; the evaluator degrades to sequential afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for actor in self._slots:
+            if actor.conn is not None:
+                try:
+                    actor.conn.send({"kind": "stop"})
+                except transport.FrameError:
+                    pass
+        deadline = time.monotonic() + 5.0
+        for actor in self._slots:
+            if actor.process is not None:
+                actor.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._teardown()
+
+    def alive_actors(self) -> int:
+        return sum(1 for a in self._slots if a.alive())
+
+    def stats(self) -> Dict[str, Any]:
+        """Learner-health summary (the ``rollout`` run-record payload).
+
+        Keyed compatibly with :meth:`RolloutPool.stats` (``workers``,
+        ``start_method``, ``cache_*`` …) so the report dashboard's pool
+        table renders either, plus distributed-only extras (``mode``,
+        ``actors``, ``weights_version``, the shared cache service stats).
+        """
+        out: Dict[str, Any] = dict(self.stats_counters)
+        # Pool-schema aliases (the report and history consumers read these).
+        out["worker_restarts"] = out["actor_restarts"]
+        out["worker_crashes"] = out["actor_crashes"]
+        out["mode"] = "distributed"
+        out["workers"] = self.actors
+        out["actors"] = self.actors
+        out["start_method"] = (
+            f"distributed/{self.start_method}" if self.start_method else "sequential"
+        )
+        out["weights_version"] = self._weights_version
+        out["cache_hits"] = self.cache.hits if self.cache is not None else 0
+        out["cache_misses"] = self.cache.misses if self.cache is not None else 0
+        out["cache_entries"] = len(self.cache) if self.cache is not None else 0
+        out["cache_evictions"] = self.cache.evictions if self.cache is not None else 0
+        if self.cache_service is not None:
+            out["cache_service"] = self.cache_service.stats()
+        return out
+
+    # ---- I/O pump ---------------------------------------------------- #
+    def _await_ready(self) -> None:
+        """Best-effort block until every spawned actor reports ready.
+
+        Actors warm up (one flow run) before their ready frame, so waiting
+        here moves that one-time cost into construction — outside the
+        timed :meth:`evaluate` calls.  Bounded by ``actor_start_timeout``;
+        stragglers are left to the evaluate loop's failure handling.
+        """
+        deadline = time.monotonic() + self.actor_start_timeout
+        while time.monotonic() < deadline:
+            if all(a.ready for a in self._slots if a.alive()) and any(
+                a.ready for a in self._slots
+            ):
+                break
+            self._process_io(0.05)
+
+    def _process_io(self, timeout: float) -> None:
+        """One select round: accept connections, read and dispatch frames."""
+        if self._listener is None:
+            return
+        sources: List[Any] = [self._listener]
+        sources.extend(c for c in self._pending_conns if not c.closed)
+        sources.extend(
+            a.conn for a in self._slots if a.conn is not None and not a.conn.closed
+        )
+        try:
+            readable, _, _ = select.select(sources, [], [], max(0.0, timeout))
+        except (OSError, ValueError):
+            readable = []
+        for source in readable:
+            if source is self._listener:
+                conn = self._listener.accept(0.0)
+                if conn is not None:
+                    self._pending_conns.append(conn)
+                continue
+            if source in self._pending_conns:
+                self._handshake(source)
+                continue
+            actor = next(
+                (a for a in self._slots if a.conn is source), None
+            )
+            if actor is not None:
+                self._read_actor(actor)
+
+    def _handshake(self, conn: transport.FrameConnection) -> None:
+        """Bind a fresh connection to its slot (or admit a guest actor)."""
+        try:
+            message = conn.recv()
+        except transport.FrameError:
+            self._pending_conns.remove(conn)
+            conn.close()
+            return
+        if not isinstance(message, Mapping) or message.get("kind") != "hello":
+            self._pending_conns.remove(conn)
+            conn.close()
+            return
+        slot = int(message.get("slot", -1))
+        if 0 <= slot < len(self._slots) and not self._slots[slot].guest:
+            actor = self._slots[slot]
+            if actor.conn is not None:
+                actor.conn.close()
+        else:
+            # A guest: an actor we did not spawn (e.g. another host).
+            actor = _Actor(len(self._slots), guest=True)
+            self._slots.append(actor)
+        self._pending_conns.remove(conn)
+        actor.conn = conn
+        actor.ready = False
+        actor.credits = 0
+        actor.last_seen = time.monotonic()
+        reply: Dict[str, Any] = {
+            "kind": "welcome",
+            "slot": actor.slot,
+            "cache_address": (
+                list(self.cache_service.address)
+                if self.cache_service is not None
+                else None
+            ),
+        }
+        if message.get("need_design"):
+            reply["kind"] = "design"
+            reply["blob"] = _encode_blob(self._blob(actor.slot))
+        try:
+            conn.send(reply)
+        except transport.FrameError:
+            actor.conn = None
+            conn.close()
+
+    def _read_actor(self, actor: _Actor) -> None:
+        assert actor.conn is not None
+        try:
+            message = actor.conn.recv()
+        except transport.FrameError:
+            self._count("actor_crashes")
+            self._fail_actor(actor, "connection lost")
+            return
+        if not isinstance(message, Mapping):
+            return
+        actor.last_seen = time.monotonic()
+        kind = message.get("kind")
+        if kind == "heartbeat":
+            return
+        if kind == "ready":
+            actor.ready = True
+            return
+        if kind == "next":
+            actor.credits += 1
+            return
+        if kind in ("result", "err"):
+            self._handle_result(actor, message)
+
+    # ---- failure handling -------------------------------------------- #
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.stats_counters[name] += amount
+        obs.incr(f"distributed.{name}", amount)
+
+    def _respawn(self, actor: _Actor) -> None:
+        """Replace a failed local actor's process, with exponential backoff.
+
+        Guests cannot be respawned (we did not start them) and are retired
+        immediately; a local slot past ``max_actor_restarts`` is retired
+        too.  When every slot is retired the learner degrades to
+        sequential for the rest of its life.
+        """
+        restarts = actor.restarts + 1
+        self._kill_actor(actor)
+        actor.pending.clear()
+        actor.deadline = None
+        actor.ready = False
+        actor.credits = 0
+        if actor.guest or restarts > self.max_actor_restarts:
+            self._log.warning(
+                "distributed actor slot %d %s; retiring slot",
+                actor.slot,
+                "is a guest" if actor.guest else
+                f"exceeded {self.max_actor_restarts} restarts",
+            )
+            tracing.instant("distributed.slot_retired", {"slot": actor.slot})
+            actor.retired = True
+            return
+        delay = min(self.backoff_base * (2.0 ** (restarts - 1)), self.backoff_cap)
+        if delay > 0:
+            time.sleep(delay)
+        self._count("actor_restarts")
+        tracing.instant(
+            "distributed.respawn", {"slot": actor.slot, "restarts": restarts}
+        )
+        replacement = self._spawn_actor(actor.slot)
+        replacement.restarts = restarts
+        replacement.pending = actor.pending  # empty deque, kept for identity
+        self._slots[actor.slot] = replacement
+
+    def _fail_actor(self, actor: _Actor, reason: str) -> None:
+        """A slot failed: retry or degrade its head task, requeue its tail,
+        respawn the process (bounded, with backoff).
+
+        Only the in-flight *head* task is charged a retry; the prefetched
+        tail never started, so it re-queues at its **original** attempt
+        (fault injection and the stale-result guard key on
+        ``(task_id, attempt)``, exactly like the pool).
+        """
+        batch = self._batch
+        head = actor.pending[0] if actor.pending else None
+        tail = list(actor.pending)[1:]
+        self._respawn(actor)
+        if batch is None:
+            return
+        queue: deque = batch["queue"]
+        for entry in reversed(tail):
+            queue.appendleft(entry)
+        if head is None:
+            return
+        index, task_id, attempt = head
+        self._log.warning(
+            "distributed task %d attempt %d failed (%s)", task_id, attempt, reason
+        )
+        if attempt + 1 > self.max_retries:
+            self._count("sequential_fallbacks")
+            tracing.instant(
+                "distributed.degrade",
+                {"task_id": task_id, "attempt": attempt, "reason": reason},
+            )
+            batch["results"][index] = self._evaluate_sequential(
+                batch["selections"][index]
+            )
+        else:
+            tracing.instant(
+                "distributed.retry",
+                {"task_id": task_id, "attempt": attempt + 1, "reason": reason},
+            )
+            queue.appendleft((index, task_id, attempt + 1))
+
+    def _evaluate_sequential(self, selection: Sequence[int]) -> FlowReward:
+        reward = _evaluate_one(
+            (self.netlist, self.snapshot, self.flow_config, list(selection))
+        )
+        restore_netlist_state(self.netlist, self.snapshot)
+        return reward
+
+    # ---- results ----------------------------------------------------- #
+    def _handle_result(self, actor: _Actor, message: Mapping[str, Any]) -> None:
+        tracing.ingest(message.get("spans"))
+        batch = self._batch
+        if batch is None or not actor.pending:
+            self._count("stale_results")
+            return
+        index, task_id, attempt = actor.pending[0]
+        r_task = int(message.get("task_id", -1))
+        r_attempt = int(message.get("attempt", -1))
+        r_version = int(message.get("weights_version", -1))
+        if (r_task, r_attempt) != (task_id, attempt) or r_version != batch["version"]:
+            self._count("stale_results")
+            return
+        if message.get("kind") == "err":
+            self._fail_actor(actor, f"actor error: {message.get('detail')}")
+            return
+        try:
+            reward = reward_from_wire(message.get("reward"))
+        except (KeyError, TypeError, ValueError):
+            reward = None
+        if reward is None or not _valid_reward(reward, batch["selections"][index]):
+            self._count("corrupt_results")
+            self._fail_actor(actor, "corrupt result")
+            return
+        actor.pending.popleft()
+        actor.deadline = (
+            time.monotonic() + self.task_timeout if actor.pending else None
+        )
+        batch["results"][index] = reward
+        if message.get("cached"):
+            self._count("cached_by_actor")
+        else:
+            obs.merge_state(message.get("obs_state"))
+
+    # ---- evaluation -------------------------------------------------- #
+    def evaluate(
+        self,
+        selections: Sequence[Sequence[int]],
+        weights_version: Optional[int] = None,
+    ) -> List[FlowReward]:
+        """Evaluate each selection's flow reward from the learner snapshot.
+
+        Each call publishes its tasks under the next weights version (or an
+        explicit, monotonically non-decreasing ``weights_version``) and
+        aggregates results strictly in that order — results tagged with an
+        older version are discarded as stale, so training histories match
+        the pooled path byte for byte at equal seeds.
+        """
+        if self._closed:
+            raise RuntimeError("DistributedEvaluator is closed")
+        if weights_version is not None:
+            if weights_version < self._weights_version:
+                raise ValueError(
+                    f"weights_version must not decrease "
+                    f"({weights_version} < {self._weights_version})"
+                )
+            self._weights_version = int(weights_version)
+        else:
+            self._weights_version += 1
+        selections = [list(sel) for sel in selections]
+        results: List[Optional[FlowReward]] = [None] * len(selections)
+        self._count("batches")
+        self._count("tasks", len(selections))
+
+        # Learner-local cache pass: hits replay instantly, misses become
+        # published tasks (identical to the pool, so counter streams and
+        # cache contents evolve identically at equal seeds).
+        queue: deque = deque()
+        for index, selection in enumerate(selections):
+            cached = self.cache.get(selection) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                queue.append((index, self._next_task_id, 0))
+                self._next_task_id += 1
+
+        with obs.span(
+            "distributed.evaluate",
+            attrs={
+                "tasks": len(queue),
+                "cache_hits": len(selections) - len(queue),
+                "weights_version": self._weights_version,
+            },
+        ):
+            if self.start_method is None or self.alive_actors() == 0:
+                for index, _, _ in queue:
+                    results[index] = self._evaluate_sequential(selections[index])
+            else:
+                self._run_distributed(queue, results, selections)
+
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover — defensive; degradation fills all
+            raise RuntimeError(f"distributed learner lost tasks {missing}")
+        if self.cache is not None:
+            for selection, reward in zip(selections, results):
+                self.cache.put(selection, reward)
+        restore_netlist_state(self.netlist, self.snapshot)
+        return list(results)
+
+    def _run_distributed(
+        self,
+        queue: deque,
+        results: List[Optional[FlowReward]],
+        selections: Sequence[Sequence[int]],
+    ) -> None:
+        start = time.monotonic()
+        trace_parent = tracing.current_span_id()
+        self._batch = {
+            "queue": queue,
+            "results": results,
+            "selections": selections,
+            "version": self._weights_version,
+        }
+        # Drain whatever accumulated between batches (heartbeats, ready
+        # frames), then grant every live actor a fresh liveness window —
+        # heartbeats are only *observed* while this loop runs.
+        self._process_io(0.0)
+        now = time.monotonic()
+        for actor in self._slots:
+            actor.last_seen = now
+        try:
+            while queue or any(a.pending for a in self._slots):
+                # No live actor left → graceful degradation for the rest.
+                if self.alive_actors() == 0:
+                    remaining = len(queue) + sum(
+                        len(a.pending) for a in self._slots
+                    )
+                    if remaining:
+                        tracing.instant(
+                            "distributed.degrade",
+                            {"reason": "no live actors", "tasks": remaining},
+                        )
+                    for actor in self._slots:
+                        while actor.pending:
+                            index, _, _ = actor.pending.popleft()
+                            self._count("sequential_fallbacks")
+                            results[index] = self._evaluate_sequential(
+                                selections[index]
+                            )
+                        actor.deadline = None
+                    while queue:
+                        index, _, _ = queue.popleft()
+                        self._count("sequential_fallbacks")
+                        results[index] = self._evaluate_sequential(selections[index])
+                    break
+
+                self._dispatch(queue, selections, trace_parent)
+                obs.gauge(
+                    "distributed.inflight",
+                    sum(len(a.pending) for a in self._slots),
+                )
+                obs.gauge("distributed.actors_alive", self.alive_actors())
+                self._process_io(0.05)
+
+                # Deadline + heartbeat sweep.  The deadline covers the head
+                # task only (refreshed when a head completes); liveness
+                # covers every non-retired actor *while the batch still has
+                # work* — an actor frozen before it even pulled its first
+                # task must not starve the queue just because nothing is
+                # pending on it yet.
+                now = time.monotonic()
+                for actor in list(self._slots):
+                    if actor.retired or not (actor.pending or queue):
+                        continue
+                    if actor.pending and not actor.alive():
+                        self._count("actor_crashes")
+                        self._fail_actor(actor, "actor died")
+                    elif (
+                        actor.pending
+                        and actor.deadline is not None
+                        and now > actor.deadline
+                    ):
+                        self._count("task_timeouts")
+                        self._fail_actor(actor, "task timeout")
+                    elif (
+                        actor.ready
+                        and now - actor.last_seen > self.heartbeat_timeout
+                    ):
+                        self._count("actor_crashes")
+                        self._fail_actor(actor, "heartbeat lost (frozen actor)")
+                    elif not actor.pending and queue and not actor.alive():
+                        # Dead before taking work: respawn without charging
+                        # any task a retry (there is no head to charge).
+                        self._fail_actor(actor, "actor died while idle")
+                    elif (
+                        not actor.ready
+                        and actor.process is not None
+                        and actor.process.is_alive()
+                        and now - start > self.actor_start_timeout
+                    ):
+                        self._respawn(actor)
+        finally:
+            self._batch = None
+        obs.gauge("distributed.inflight", 0)
+
+    def _dispatch(
+        self,
+        queue: deque,
+        selections: Sequence[Sequence[int]],
+        trace_parent: Optional[str],
+    ) -> None:
+        """Serve queued tasks to actors holding pull credits."""
+        if not queue:
+            return
+        for actor in list(self._slots):
+            if not queue:
+                return
+            if (
+                actor.retired
+                or not actor.ready
+                or actor.conn is None
+                or actor.conn.closed
+                or not actor.alive()
+            ):
+                continue
+            while (
+                queue
+                and actor.credits > 0
+                and len(actor.pending) < self.PIPELINE_DEPTH
+            ):
+                index, task_id, attempt = queue.popleft()
+                message = {
+                    "kind": "task",
+                    "task_id": task_id,
+                    "attempt": attempt,
+                    "weights_version": self._weights_version,
+                    "selection": [int(s) for s in selections[index]],
+                    "trace_parent": trace_parent,
+                    "cache_key": (
+                        self.cache.key(selections[index])
+                        if self.cache is not None and self.cache_service is not None
+                        else None
+                    ),
+                }
+                try:
+                    actor.conn.send(message)
+                except transport.FrameError:
+                    # Dead pipe: the unsent task goes straight back (it
+                    # never started, so original attempt), then the
+                    # actor's in-flight head fails over.
+                    queue.appendleft((index, task_id, attempt))
+                    self._count("actor_crashes")
+                    self._fail_actor(actor, "send failed")
+                    break
+                actor.credits -= 1
+                actor.pending.append((index, task_id, attempt))
+                if tracing.enabled():
+                    tracing.instant(
+                        "distributed.submit",
+                        {
+                            "task_id": task_id,
+                            "attempt": attempt,
+                            "slot": actor.slot,
+                            "weights_version": self._weights_version,
+                        },
+                    )
+                if actor.deadline is None:
+                    actor.deadline = time.monotonic() + self.task_timeout

@@ -1,0 +1,292 @@
+"""Length-prefixed frame transport for the distributed actor–learner.
+
+The actor–learner architecture (:mod:`repro.agent.distributed`) needs a
+message channel that works across *hosts*, not just across a fork — so it
+speaks plain TCP sockets carrying **length-prefixed frames**: a 1-byte
+codec tag, a 4-byte big-endian payload length, then the encoded payload.
+Everything here is stdlib-only (the container rule: no new dependencies):
+
+* the default codec is JSON — Python's ``json`` round-trips ``float``
+  values exactly (``repr``-based shortest encoding), which is what lets
+  :class:`~repro.agent.parallel.FlowReward` cross the wire byte-identical
+  and keeps the distributed training-history determinism contract intact;
+* ``msgpack`` is used *only* when the interpreter already has it
+  (``REPRO_TRANSPORT_CODEC=msgpack`` or ``codec="msgpack"``); asking for
+  it on a box without the package raises a one-line :class:`ValueError`
+  instead of importing anything new.
+
+:class:`FrameConnection` wraps one connected socket with thread-safe
+sends (the actor's heartbeat daemon thread shares the socket with the
+task loop) and timeout-bounded receives; :class:`FrameListener` is the
+accept side.  Frames are capped at :data:`MAX_FRAME_BYTES` so a corrupt
+length prefix fails fast instead of allocating gigabytes.
+
+Single-host CI runs everything on ``127.0.0.1`` with ephemeral ports; a
+multi-host deployment only changes the host the listener binds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import socket
+import struct
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Environment variable selecting the default frame codec.
+CODEC_ENV_VAR = "REPRO_TRANSPORT_CODEC"
+
+#: Hard ceiling on one frame's payload (a design blob at smoke scale is
+#: well under this; a corrupt length prefix fails immediately).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: struct format of the frame header: codec tag byte + payload length.
+_HEADER = struct.Struct("!BI")
+
+#: Codec tags on the wire (the tag travels per frame, so a listener can
+#: serve clients speaking either codec).
+_TAG_JSON = 0
+_TAG_MSGPACK = 1
+
+
+class FrameError(ConnectionError):
+    """A frame could not be sent or received (peer gone, stream corrupt)."""
+
+
+def available_codecs() -> Tuple[str, ...]:
+    """Codecs usable in this interpreter, without importing anything new."""
+    codecs = ["json"]
+    try:  # pragma: no cover — container-dependent
+        import importlib.util
+
+        if importlib.util.find_spec("msgpack") is not None:
+            codecs.append("msgpack")
+    except (ImportError, ValueError):  # pragma: no cover
+        pass
+    return tuple(codecs)
+
+
+def resolve_codec(requested: Optional[str] = None) -> str:
+    """The codec name to use: explicit argument > env var > ``json``.
+
+    Unknown names and codecs whose package is missing raise ``ValueError``
+    with a one-line message (the no-new-dependencies gate).
+    """
+    codec = (requested or os.environ.get(CODEC_ENV_VAR, "").strip() or "json").lower()
+    if codec not in ("json", "msgpack"):
+        raise ValueError(f"unknown transport codec {codec!r} (json or msgpack)")
+    if codec not in available_codecs():
+        raise ValueError(
+            f"transport codec {codec!r} needs the msgpack package, which this "
+            "interpreter does not have; use codec='json'"
+        )
+    return codec
+
+
+def _encoder(codec: str) -> Tuple[int, Callable[[Any], bytes]]:
+    if codec == "msgpack":  # pragma: no cover — optional dependency
+        import msgpack
+
+        return _TAG_MSGPACK, lambda obj: msgpack.packb(obj, use_bin_type=True)
+    return _TAG_JSON, lambda obj: json.dumps(
+        obj, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def _decode(tag: int, payload: bytes) -> Any:
+    if tag == _TAG_JSON:
+        return json.loads(payload.decode("utf-8"))
+    if tag == _TAG_MSGPACK:  # pragma: no cover — optional dependency
+        try:
+            import msgpack
+        except ImportError as exc:
+            raise FrameError(
+                "peer sent a msgpack frame but this interpreter has no msgpack"
+            ) from exc
+        return msgpack.unpackb(payload, raw=False)
+    raise FrameError(f"unknown frame codec tag {tag}")
+
+
+class FrameConnection:
+    """One connected socket speaking length-prefixed frames.
+
+    ``send`` is serialized by a lock so the heartbeat daemon thread and
+    the task loop can share the connection; ``recv`` is single-consumer
+    (only the owning loop reads).  Receives are bounded by
+    ``io_timeout`` once the first header byte arrives — a peer that stalls
+    mid-frame surfaces as :class:`FrameError`, which callers treat exactly
+    like a crash.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        codec: str = "json",
+        io_timeout: float = 30.0,
+    ) -> None:
+        self._sock = sock
+        self._tag, self._encode = _encoder(resolve_codec(codec))
+        self._io_timeout = float(io_timeout)
+        self._send_lock = threading.Lock()
+        self._closed = False
+        sock.setblocking(True)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover — not all families support it
+            pass
+
+    # ---- plumbing ---------------------------------------------------- #
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover — already gone
+            pass
+
+    # ---- frames ------------------------------------------------------ #
+    def send(self, message: Dict[str, Any]) -> None:
+        """Encode and send one frame (thread-safe; raises FrameError)."""
+        payload = self._encode(message)
+        if len(payload) > MAX_FRAME_BYTES:
+            raise FrameError(f"frame too large: {len(payload)} bytes")
+        frame = _HEADER.pack(self._tag, len(payload)) + payload
+        with self._send_lock:
+            if self._closed:
+                raise FrameError("connection closed")
+            try:
+                self._sock.settimeout(self._io_timeout)
+                self._sock.sendall(frame)
+            except (OSError, ValueError) as exc:
+                raise FrameError(f"send failed: {exc}") from exc
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """Whether at least one byte is readable within ``timeout``."""
+        if self._closed:
+            return False
+        try:
+            readable, _, _ = select.select([self._sock], [], [], max(0.0, timeout))
+        except (OSError, ValueError):
+            return True  # let recv surface the real error
+        return bool(readable)
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout as exc:
+                raise FrameError(f"peer stalled mid-frame ({n - remaining}/{n} bytes)") from exc
+            except (OSError, ValueError) as exc:
+                raise FrameError(f"recv failed: {exc}") from exc
+            if not chunk:
+                raise FrameError("connection closed by peer")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Receive one frame; ``None`` when ``timeout`` expires first.
+
+        With ``timeout=None`` the call blocks until a frame (or failure)
+        arrives.  Once a header starts arriving, the rest of the frame is
+        bounded by ``io_timeout`` regardless of ``timeout``.
+        """
+        if self._closed:
+            raise FrameError("connection closed")
+        if timeout is not None and not self.poll(timeout):
+            return None
+        self._sock.settimeout(self._io_timeout)
+        header = self._recv_exact(_HEADER.size)
+        tag, length = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise FrameError(f"oversized frame announced: {length} bytes")
+        payload = self._recv_exact(length)
+        return _decode(tag, payload)
+
+
+class FrameListener:
+    """Accept side: bind, listen, hand out :class:`FrameConnection`\\ s.
+
+    Binding port 0 picks an ephemeral port (the CI default); ``address``
+    reports the bound ``(host, port)`` to advertise to actors.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: str = "json",
+        backlog: int = 64,
+    ) -> None:
+        self._codec = resolve_codec(codec)
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self._sock.setblocking(False)
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._sock.getsockname()[:2]
+        return str(host), int(port)
+
+    @property
+    def codec(self) -> str:
+        return self._codec
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def accept(self, timeout: float = 0.0) -> Optional[FrameConnection]:
+        """Accept one pending connection, or ``None`` within ``timeout``."""
+        if self._closed:
+            return None
+        try:
+            readable, _, _ = select.select([self._sock], [], [], max(0.0, timeout))
+            if not readable:
+                return None
+            sock, _addr = self._sock.accept()
+        except (OSError, ValueError):
+            return None
+        return FrameConnection(sock, codec=self._codec)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def connect(
+    address: Tuple[str, int],
+    codec: str = "json",
+    timeout: float = 10.0,
+    io_timeout: float = 30.0,
+) -> FrameConnection:
+    """Dial a listener and wrap the socket (raises FrameError on failure)."""
+    host, port = address
+    try:
+        sock = socket.create_connection((host, int(port)), timeout=timeout)
+    except OSError as exc:
+        raise FrameError(f"cannot connect to {host}:{port}: {exc}") from exc
+    return FrameConnection(sock, codec=codec, io_timeout=io_timeout)

@@ -152,6 +152,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "section (default 8)",
     )
     bench.add_argument(
+        "--actors",
+        type=int,
+        default=2,
+        metavar="N",
+        help="actor count for the bench's distributed actor–learner "
+        "throughput section (0 skips the section; default 2)",
+    )
+    bench.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE",
@@ -197,6 +205,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="persistent rollout-pool workers for flow-reward evaluation "
         "(1 = sequential; see docs/rollout.md)",
+    )
+    train.add_argument(
+        "--actors",
+        type=int,
+        default=0,
+        metavar="N",
+        help="distributed actor–learner evaluation: spawn N socket-fed "
+        "actor processes sharing the reward cache as a service "
+        "(0 = off; mutually exclusive with --workers > 1; training "
+        "histories are byte-identical either way — see docs/rollout.md)",
     )
     train.add_argument(
         "--rollout-timeout",
@@ -353,11 +371,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     metrics_server = None
     if args.metrics_port is not None:
-        from repro.obs.metrics_export import MetricsServer
+        from repro.obs.metrics_export import MetricsServer, suggest_free_port
 
         # Metrics without a recorder would be an empty page forever.
         obs.enable()
-        metrics_server = MetricsServer.start(args.metrics_port)
+        try:
+            metrics_server = MetricsServer.start(args.metrics_port)
+        except OSError as exc:
+            # Most commonly EADDRINUSE from another run still serving; a
+            # traceback here buries the one actionable fact.
+            print(
+                f"error: cannot serve metrics on port {args.metrics_port} "
+                f"({exc.strerror or exc}); try --metrics-port "
+                f"{suggest_free_port()}",
+                file=sys.stderr,
+            )
+            return 2
         log.info("serving Prometheus metrics at %s", metrics_server.url)
 
     try:
@@ -441,6 +470,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 cells=args.cells,
                 rollout_workers=args.workers,
                 batch_episodes=args.batch_episodes,
+                distributed_actors=args.actors,
             )
         )
         if args.update_baseline:
@@ -516,6 +546,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     batch_episodes=args.batch_episodes,
                     seed=args.seed,
                     workers=args.workers,
+                    actors=args.actors,
                     rollout_timeout=args.rollout_timeout,
                     reward_cache=not args.no_reward_cache,
                     entropy_coefficient=args.entropy_coef,

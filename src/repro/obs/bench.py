@@ -23,6 +23,11 @@ then aggregates the recorder into the ``BENCH_<sha>.json`` schema::
      "batch": {"batch_episodes", "speedup",
                "full"/"incremental":
                    {"single"/"batched": {"per_episode_s"}, "speedup"}},
+     "distributed": {"tasks", "actors", "start_method",
+                     "sequential"/"distributed"/"shared_cache_replay":
+                         {"seconds", "tasks_per_second", "speedup"},
+                     "cache_service": {"hits", "misses", "puts",
+                                       "evictions", "entries"}},
      "total_seconds": <wall>}
 
 ``metrics``/``counters``/``design`` are deterministic for a fixed seed;
@@ -39,6 +44,7 @@ import json
 import math
 import os
 import platform
+import statistics
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -71,6 +77,9 @@ class BenchConfig:
     #: Stacked episodes per batched policy pass in the ``batch`` section
     #: (compared against the same number of B=1 rollouts).
     batch_episodes: int = 8
+    #: Actor count for the ``distributed`` actor–learner throughput section
+    #: (0 skips the section entirely).
+    distributed_actors: int = 2
 
     def __post_init__(self) -> None:
         if self.episodes < 1:
@@ -83,6 +92,8 @@ class BenchConfig:
             raise ValueError("rollout_tasks must be >= 1")
         if self.batch_episodes < 2:
             raise ValueError("batch_episodes must be >= 2")
+        if self.distributed_actors < 0:
+            raise ValueError("distributed_actors must be >= 0")
 
 
 @dataclass
@@ -186,6 +197,11 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         rollout_compare = _compare_rollout_engines(workload, config)
         policy_compare = _compare_policy_engines(workload)
         batch_compare = _compare_batch_engines(workload, config)
+        distributed_compare = (
+            _compare_distributed_engine(workload, config)
+            if config.distributed_actors >= 1
+            else None
+        )
         obs_compare = _compare_trace_overhead(workload)
 
         state = obs.get_recorder().export_state()
@@ -222,6 +238,7 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         "rollout": rollout_compare,
         "policy": policy_compare,
         "batch": batch_compare,
+        "distributed": distributed_compare,
         "obs": obs_compare,
         "total_seconds": total,
         "host": {
@@ -287,17 +304,24 @@ def _compare_trace_overhead(workload: Workload) -> Dict[str, Any]:
     ``section.obs.trace_overhead`` pseudo-phase
     (:func:`repro.obs.history.section_medians`), so a slow tracer — or a
     disabled path that stopped being zero-cost — fails CI like any phase
-    regression.  Best-of-N wall time per configuration; the enabled pass
-    writes its span records to a throwaway sink so a real ``--trace`` run
-    is not polluted, and the caller's tracing state is restored either
-    way.
+    regression.  The enabled pass writes its span records to a throwaway
+    sink so a real ``--trace`` run is not polluted, and the caller's
+    tracing state is restored either way.
+
+    Measurement discipline: the overhead is a small difference between two
+    large wall times, so a disabled-block-then-enabled-block layout puts
+    any load drift between the blocks straight into the difference (the
+    variance of a difference of two independent best-of-N estimates adds).
+    Instead each repeat runs disabled-then-enabled back to back and the
+    reported overhead is the **median of the paired per-repeat diffs** —
+    pairing cancels drift, the median rejects a single noisy repeat.
     """
     import tempfile
 
     from repro.ccd.flow import restore_netlist_state, run_flow
     from repro.obs import tracing
 
-    repeats = 3
+    repeats = 5
     prev_sink = records.trace_path()
     prev_events = tracing.enabled()
     out: Dict[str, Any] = {"flow_runs": repeats}
@@ -306,20 +330,36 @@ def _compare_trace_overhead(workload: Workload) -> Dict[str, Any]:
         suffix=".jsonl", prefix="repro-trace-overhead-", delete=False
     )
     handle.close()
+
+    def _timed_flow() -> float:
+        watch = obs.Stopwatch()
+        run_flow(workload.netlist, workload.flow_config)
+        elapsed = watch.elapsed
+        restore_netlist_state(workload.netlist, workload.snapshot)
+        return elapsed
+
     try:
-        for key, events in (("disabled", False), ("enabled", True)):
-            if events:
-                records.set_trace_path(handle.name)
-                tracing.enable()
-            else:
-                tracing.disable()
-            best = math.inf
-            for _ in range(repeats):
-                watch = obs.Stopwatch()
-                run_flow(workload.netlist, workload.flow_config)
-                best = min(best, watch.elapsed)
-                restore_netlist_state(workload.netlist, workload.snapshot)
-            out[key] = {"flow_seconds": best}
+        # Untimed warm-up of both configurations (first enabled flow pays
+        # sink setup and tracer-path warming).
+        tracing.disable()
+        _timed_flow()
+        records.set_trace_path(handle.name)
+        tracing.enable()
+        _timed_flow()
+        diffs = []
+        disabled_best = enabled_best = math.inf
+        for _ in range(repeats):
+            tracing.disable()
+            records.set_trace_path(prev_sink)
+            disabled_s = _timed_flow()
+            records.set_trace_path(handle.name)
+            tracing.enable()
+            enabled_s = _timed_flow()
+            disabled_best = min(disabled_best, disabled_s)
+            enabled_best = min(enabled_best, enabled_s)
+            diffs.append(enabled_s - disabled_s)
+        out["disabled"] = {"flow_seconds": disabled_best}
+        out["enabled"] = {"flow_seconds": enabled_best}
         tracing.disable()
         records.set_trace_path(prev_sink)
         span_records = sum(
@@ -337,10 +377,9 @@ def _compare_trace_overhead(workload: Workload) -> Dict[str, Any]:
             os.unlink(handle.name)
         except OSError:  # pragma: no cover — best-effort temp cleanup
             pass
-    out["span_records_per_flow"] = span_records // repeats
-    out["trace_overhead_s"] = max(
-        0.0, out["enabled"]["flow_seconds"] - out["disabled"]["flow_seconds"]
-    )
+    # One warm-up + `repeats` timed enabled flows wrote to the sink.
+    out["span_records_per_flow"] = span_records // (repeats + 1)
+    out["trace_overhead_s"] = max(0.0, statistics.median(diffs))
     return out
 
 
@@ -443,6 +482,118 @@ def _compare_rollout_engines(
             "misses": stats["cache_misses"],
             "entries": stats["cache_entries"],
         },
+    }
+
+
+def _compare_distributed_engine(
+    workload: Workload, config: BenchConfig
+) -> Dict[str, Any]:
+    """Time the same fixed selection batch through the actor–learner farm.
+
+    Returns the ``"distributed"`` section of the BENCH payload: sequential
+    in-process evaluation, the socket-fed
+    :class:`~repro.agent.distributed.DistributedEvaluator` with a cold
+    shared cache, and a replay through the warm shared cache service, each
+    with tasks/s and speedup vs sequential.  The reward lists are asserted
+    equal — the socket transport must never change semantics.  Wall-clock
+    only (and the cache-service hit pattern depends on actor interleaving):
+    :func:`strip_timing` drops the whole section.
+
+    Same measurement discipline as the rollout section: actors clipped to
+    the cores actually available, one untimed warm-up batch, min over the
+    same number of passes per engine.
+    """
+    from repro.agent.baselines import select_worst_slack
+    from repro.agent.distributed import DistributedEvaluator
+    from repro.agent.parallel import RewardCache, evaluate_selections
+
+    env = workload.env
+    selections = [
+        select_worst_slack(env, 1 + (k % env.num_endpoints))
+        for k in range(config.rollout_tasks)
+    ]
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        cpus = os.cpu_count() or 1
+    actors = max(1, min(config.distributed_actors, cpus))
+    passes = 2
+
+    watch = obs.Stopwatch()
+    seq_times = []
+    for _ in range(passes):
+        watch.restart()
+        sequential_rewards = evaluate_selections(
+            workload.netlist,
+            workload.flow_config,
+            selections,
+            workers=1,
+            snapshot=workload.snapshot,
+        )
+        seq_times.append(watch.elapsed)
+    sequential_s = min(seq_times)
+
+    cache = RewardCache.for_context(workload.snapshot, workload.flow_config)
+    with DistributedEvaluator(
+        workload.netlist,
+        workload.flow_config,
+        actors=actors,
+        snapshot=workload.snapshot,
+        cache=None,  # attached below: the timed passes must all stay cold
+    ) as evaluator:
+        evaluator.evaluate(selections)  # untimed warm-up batch
+        distributed_times = []
+        for _ in range(passes):
+            watch.restart()
+            distributed_rewards = evaluator.evaluate(selections)
+            distributed_times.append(watch.elapsed)
+        distributed_s = min(distributed_times)
+        stats = evaluator.stats()
+    # The cold evaluator ran without a cache service; replay timing needs a
+    # fresh farm whose actors dial the shared cache from the start.
+    with DistributedEvaluator(
+        workload.netlist,
+        workload.flow_config,
+        actors=actors,
+        snapshot=workload.snapshot,
+        cache=cache,
+    ) as evaluator:
+        evaluator.evaluate(selections)  # untimed: fills cache + service
+        cache.hits = cache.misses = 0  # count only the timed replay
+        watch.restart()
+        cached_rewards = evaluator.evaluate(selections)
+        cached_s = watch.elapsed
+        service_stats = (
+            evaluator.cache_service.stats()
+            if evaluator.cache_service is not None
+            else {"hits": 0, "misses": 0, "puts": 0, "evictions": 0, "entries": 0}
+        )
+    if not (sequential_rewards == distributed_rewards == cached_rewards):
+        raise RuntimeError(
+            "distributed engine disagrees: sequential, actor–learner and "
+            "shared-cache replay must produce identical FlowReward sequences"
+        )
+    # Same post-fork hygiene as the rollout section: collect the dirtied
+    # cyclic-GC bookkeeping outside anyone's timed window.
+    gc.collect()
+
+    tasks = len(selections)
+
+    def _engine(seconds: float) -> Dict[str, Any]:
+        return {
+            "seconds": seconds,
+            "tasks_per_second": tasks / seconds if seconds > 0 else None,
+            "speedup": sequential_s / seconds if seconds > 0 else None,
+        }
+
+    return {
+        "tasks": tasks,
+        "actors": actors,
+        "start_method": stats["start_method"],
+        "sequential": _engine(sequential_s),
+        "distributed": _engine(distributed_s),
+        "shared_cache_replay": _engine(cached_s),
+        "cache_service": service_stats,
     }
 
 
@@ -716,6 +867,7 @@ def strip_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
             "rollout",
             "policy",
             "batch",
+            "distributed",
             "obs",
             "total_seconds",
             "host",

@@ -40,6 +40,13 @@ DEFAULT_MAD_K = 3.0
 #: the MAD is (shared runners routinely jitter tens of percent).
 NOISE_FLOOR_RATIO = 0.5
 
+#: Absolute noise grace added to every threshold: a single scheduler
+#: preemption inside a sub-millisecond phase multiplies its measured
+#: median, so relative thresholds alone make sub-ms phases flaky on
+#: shared runners.  One millisecond of grace is invisible to the
+#: multi-ms phases where enforcement is meaningful.
+ABS_NOISE_FLOOR_S = 0.001
+
 #: Fallback relative tolerance when history is too thin for a MAD
 #: (candidate fails beyond ``(1 + ratio) × median``; 1.5 → 2.5× median).
 FALLBACK_TOLERANCE = 1.5
@@ -68,9 +75,10 @@ def mad(values: Sequence[float]) -> float:
 def section_medians(payload: Mapping[str, Any]) -> Dict[str, float]:
     """Engine-comparison section timings as ``section.…`` pseudo-phases.
 
-    The nightly gate tracks the rollout-pool and batched-policy sections
-    alongside recorder phases, so a pool or batching regression fails the
-    same median+MAD check as any instrumented phase.  Each entry's value
+    The nightly gate tracks the rollout-pool, distributed actor–learner
+    and batched-policy sections alongside recorder phases, so a pool,
+    transport or batching regression fails the same median+MAD check as
+    any instrumented phase.  Each entry's value
     is the section's headline seconds for that engine (total pass seconds
     for rollout engines, per-episode seconds for the batch section).
     """
@@ -80,6 +88,11 @@ def section_medians(payload: Mapping[str, Any]) -> Dict[str, float]:
         seconds = (rollout.get(engine) or {}).get("seconds")
         if seconds is not None:
             out[f"section.rollout.{engine}"] = float(seconds)
+    distributed = payload.get("distributed") or {}
+    for engine in ("sequential", "distributed", "shared_cache_replay"):
+        seconds = (distributed.get(engine) or {}).get("seconds")
+        if seconds is not None:
+            out[f"section.distributed.{engine}"] = float(seconds)
     batch = payload.get("batch") or {}
     for mode in ("full", "incremental"):
         section = batch.get(mode) or {}
@@ -275,8 +288,10 @@ class RunHistory:
 
         Threshold per phase (history median *m*, across-run MAD):
 
-        * ``runs >= min_runs`` — ``m + max(k·MAD, NOISE_FLOOR_RATIO·m)``;
-        * thinner history — ``m·(1 + fallback_tolerance)``.
+        * ``runs >= min_runs`` — ``m + max(k·MAD, NOISE_FLOOR_RATIO·m,
+          ABS_NOISE_FLOOR_S)``;
+        * thinner history — ``m·(1 + fallback_tolerance)``, but never
+          tighter than ``m + ABS_NOISE_FLOOR_S``.
 
         Phases faster than ``min_seconds`` or absent from history are
         skipped (same floors as the advisory diff).  Returns the failures,
@@ -292,10 +307,15 @@ class RunHistory:
                 continue
             if base.runs >= min_runs:
                 threshold = base.median_s + max(
-                    k * base.mad_s, NOISE_FLOOR_RATIO * base.median_s
+                    k * base.mad_s,
+                    NOISE_FLOOR_RATIO * base.median_s,
+                    ABS_NOISE_FLOOR_S,
                 )
             else:
-                threshold = base.median_s * (1.0 + fallback_tolerance)
+                threshold = max(
+                    base.median_s * (1.0 + fallback_tolerance),
+                    base.median_s + ABS_NOISE_FLOOR_S,
+                )
             candidate = float(stats["median_s"])
             if candidate > threshold:
                 failures.append(

@@ -146,6 +146,21 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         pass  # scrapes must not spam the training logs
 
 
+def suggest_free_port(host: str = "127.0.0.1") -> int:
+    """An ephemeral port the OS reports free right now.
+
+    For the CLI's ``--metrics-port`` collision message: binding port 0 and
+    reading the assignment back is the only race-free way to *find* a free
+    port, and while another process may still grab it before the user
+    retries, it is a far better suggestion than a guess.
+    """
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return int(sock.getsockname()[1])
+
+
 class MetricsServer:
     """Daemon-threaded ``/metrics`` endpoint over the global recorder."""
 

@@ -1,0 +1,230 @@
+"""Determinism and protocol tests for the distributed actor–learner.
+
+The acceptance contract of ``docs/rollout.md``: ``train --actors N``
+(N=1 and N=4) produces **byte-identical training histories** to the
+pooled and sequential paths at equal seeds, with the shared reward-cache
+service replaying across actor processes without perturbing anything.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.agent.baselines import select_random, select_worst_slack
+from repro.agent.distributed import (
+    DistributedEvaluator,
+    RewardCacheClient,
+    RewardCacheService,
+    reward_from_wire,
+    reward_to_wire,
+    run_actor,
+)
+from repro.agent.env import EndpointSelectionEnv
+from repro.agent.parallel import (
+    START_METHOD_ENV_VAR,
+    FlowReward,
+    RewardCache,
+    evaluate_selections,
+    fork_available,
+)
+from repro.agent.policy import RLCCDPolicy
+from repro.agent.reinforce import TrainConfig, train_rlccd
+from repro.ccd.flow import FlowConfig, snapshot_netlist_state
+from repro.features.table1 import NUM_FEATURES
+
+_FORCED = os.environ.get(START_METHOD_ENV_VAR, "").strip()
+START_METHOD = _FORCED or ("fork" if fork_available() else "spawn")
+
+FAST = dict(task_timeout=30.0, heartbeat_timeout=10.0, backoff_base=0.01)
+
+
+@pytest.fixture(scope="module")
+def context(small_design):
+    nl, period = small_design
+    env = EndpointSelectionEnv(nl, period)
+    config = FlowConfig(clock_period=period)
+    snapshot = snapshot_netlist_state(nl)
+    selections = [select_worst_slack(env, k) for k in (1, 2, 3)] + [
+        select_random(env, 4, rng=s) for s in (0, 1)
+    ]
+    sequential = evaluate_selections(
+        nl, config, selections, workers=1, snapshot=snapshot
+    )
+    return nl, period, config, snapshot, selections, sequential
+
+
+def test_reward_wire_round_trip_is_exact():
+    reward = FlowReward(
+        tns=-3.141592653589793, wns=-0.1, nve=7, power_total=1e-17, num_selected=3
+    )
+    assert reward_from_wire(reward_to_wire(reward)) == reward
+    with pytest.raises((ValueError, KeyError, TypeError)):
+        reward_from_wire(["not", "a", "reward"])
+    with pytest.raises((ValueError, KeyError, TypeError)):
+        reward_from_wire({"tns": "NaN-ish"})
+
+
+def test_rewards_identical_sequential_vs_distributed(context):
+    nl, period, config, snapshot, selections, sequential = context
+    cache = RewardCache.for_context(snapshot, config)
+    with DistributedEvaluator(
+        nl,
+        config,
+        actors=2,
+        snapshot=snapshot,
+        start_method=START_METHOD,
+        cache=cache,
+        **FAST,
+    ) as evaluator:
+        distributed = evaluator.evaluate(selections)
+        replayed = evaluator.evaluate(selections)
+        stats = evaluator.stats()
+    blob = pickle.dumps(sequential)
+    assert pickle.dumps(distributed) == blob
+    assert pickle.dumps(replayed) == blob
+    # Second batch replays entirely from the learner-local cache pre-pass.
+    assert cache.hits == len(selections)
+    assert stats["mode"] == "distributed"
+    assert stats["weights_version"] == 2
+
+
+def _train(nl, period, *, workers: int = 1, actors: int = 0,
+           reward_cache: bool = True, seed: int = 3):
+    env = EndpointSelectionEnv(nl, period)
+    policy = RLCCDPolicy(NUM_FEATURES, rng=seed)
+    result = train_rlccd(
+        policy,
+        env,
+        FlowConfig(clock_period=period),
+        TrainConfig(
+            max_episodes=4,
+            episodes_per_update=2,
+            workers=workers,
+            actors=actors,
+            reward_cache=reward_cache,
+            rollout_start_method=(
+                START_METHOD if (workers > 1 or actors >= 1) else None
+            ),
+            seed=seed,
+        ),
+    )
+    return [
+        (r.episode, r.tns, r.wns, r.nve, r.num_selected, r.advantage)
+        for r in result.history
+    ]
+
+
+@pytest.mark.parametrize("actors", [1, 4])
+def test_training_histories_identical_to_pooled_path(fresh_design, actors):
+    """The acceptance criterion: ``--actors N`` (N=1, 4) vs the pooled
+    path, byte-identical training histories at equal seeds."""
+    nl, period = fresh_design
+    pooled = _train(nl, period, workers=4)
+    distributed = _train(nl, period, actors=actors)
+    assert pickle.dumps(pooled) == pickle.dumps(distributed)
+
+
+def test_shared_cache_replay_across_actors_matches_cold_run(fresh_design):
+    """Satellite: the shared cache service feeding two actor processes is
+    semantically invisible — cached-replay histories are byte-identical
+    to cold (cache-disabled) runs at equal seeds."""
+    nl, period = fresh_design
+    cold = _train(nl, period, actors=2, reward_cache=False)
+    cached = _train(nl, period, actors=2, reward_cache=True)
+    assert pickle.dumps(cold) == pickle.dumps(cached)
+
+
+def test_cache_service_round_trip(context):
+    """Key-level get/put through the service socket, with service-side
+    hit/miss/put counters and evictions surfacing from the cache."""
+    nl, period, config, snapshot, selections, sequential = context
+    cache = RewardCache.for_context(snapshot, config, max_entries=2)
+    service = RewardCacheService(cache)
+    try:
+        client = RewardCacheClient(service.address)
+        key = cache.key(selections[0])
+        assert client.get(key) is None
+        client.put(key, sequential[0])
+        assert client.get(key) == sequential[0]
+        # FIFO eviction at capacity bumps the shared eviction counter.
+        for selection, reward in zip(selections[1:3], sequential[1:3]):
+            client.put(cache.key(selection), reward)
+        stats = service.stats()
+        client.close()
+    finally:
+        service.close()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["puts"] == 3
+    assert stats["entries"] == 2
+    assert stats["evictions"] == 1
+
+
+def test_remote_actor_joins_as_guest(context):
+    """The multi-host entry point: a process we did not spawn dials the
+    learner, pulls the design blob over the wire, and serves tasks."""
+    nl, period, config, snapshot, selections, sequential = context
+    with DistributedEvaluator(
+        nl,
+        config,
+        actors=1,
+        snapshot=snapshot,
+        start_method=START_METHOD,
+        **FAST,
+    ) as evaluator:
+        ctx = multiprocessing.get_context(START_METHOD)
+        guest = ctx.Process(
+            target=run_actor, args=(evaluator.address,), daemon=True
+        )
+        guest.start()
+        try:
+            rewards = evaluator.evaluate(selections)
+        finally:
+            guest.terminate()
+            guest.join(timeout=5.0)
+    assert pickle.dumps(rewards) == pickle.dumps(sequential)
+
+
+def test_stats_render_with_pool_schema(context):
+    """The report dashboard reads the pool's key schema; the distributed
+    stats payload must satisfy it (plus its own extras)."""
+    nl, period, config, snapshot, selections, sequential = context
+    with DistributedEvaluator(
+        nl, config, actors=1, snapshot=snapshot, start_method=START_METHOD, **FAST
+    ) as evaluator:
+        evaluator.evaluate(selections[:2])
+        stats = evaluator.stats()
+    for key in (
+        "workers",
+        "start_method",
+        "tasks",
+        "cache_hits",
+        "cache_misses",
+        "worker_restarts",
+        "task_timeouts",
+        "worker_crashes",
+        "corrupt_results",
+        "sequential_fallbacks",
+    ):
+        assert key in stats, key
+    assert stats["actors"] == 1
+    assert stats["start_method"].startswith("distributed/")
+
+
+def test_actors_and_workers_are_mutually_exclusive():
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        TrainConfig(workers=2, actors=2)
+    with pytest.raises(ValueError, match="non-negative"):
+        TrainConfig(actors=-1)
+
+
+def test_invalid_evaluator_parameters(context):
+    nl, period, config, snapshot, *_ = context
+    with pytest.raises(ValueError, match="actors"):
+        DistributedEvaluator(nl, config, actors=0, snapshot=snapshot)
+    with pytest.raises(ValueError, match="task_timeout"):
+        DistributedEvaluator(nl, config, actors=1, snapshot=snapshot, task_timeout=0)

@@ -1,0 +1,252 @@
+"""Fault-injection suite for the distributed actor–learner.
+
+The full :class:`RolloutPool` fault contract, re-proved over sockets:
+actors are crashed mid-task, hung past the deadline, frozen (``SIGSTOP``)
+and made to return corrupt frames; the learner itself is torn down and
+restarted between batches.  In every case results must be byte-identical
+to a sequential run — recovered or degraded, never hung, never wrong.
+
+The ``distributed-faults`` CI matrix runs this file under both ``fork``
+and ``spawn`` (via ``REPRO_ROLLOUT_START_METHOD``) with one fault class
+per matrix cell (via ``REPRO_DISTRIBUTED_FAULT``), uploading the obs
+trace as an artifact when a cell fails; locally, with the variables
+unset, everything runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.agent.baselines import select_worst_slack
+from repro.agent.distributed import DistributedEvaluator
+from repro.agent.env import EndpointSelectionEnv
+from repro.agent.parallel import (
+    START_METHOD_ENV_VAR,
+    evaluate_selections,
+    fork_available,
+)
+from repro.ccd.flow import FlowConfig, snapshot_netlist_state
+
+_FORCED = os.environ.get(START_METHOD_ENV_VAR, "").strip()
+START_METHODS = [_FORCED] if _FORCED else (
+    (["fork"] if fork_available() else []) + ["spawn"]
+)
+
+#: CI matrix cells set this to run one fault class per cell; unset runs all.
+FAULT_ENV_VAR = "REPRO_DISTRIBUTED_FAULT"
+_FAULT_FILTER = os.environ.get(FAULT_ENV_VAR, "").strip()
+
+
+def _fault_selected(name: str) -> bool:
+    return not _FAULT_FILTER or _FAULT_FILTER == name
+
+
+#: Short timeouts so an injected hang costs ~a second, not the default.
+FAST = dict(
+    task_timeout=2.0,
+    heartbeat_timeout=1.0,
+    backoff_base=0.01,
+    max_retries=2,
+    max_actor_restarts=4,
+)
+
+
+@pytest.fixture(scope="module")
+def context(small_design):
+    nl, period = small_design
+    env = EndpointSelectionEnv(nl, period)
+    config = FlowConfig(clock_period=period)
+    snapshot = snapshot_netlist_state(nl)
+    selections = [select_worst_slack(env, k) for k in (1, 2, 3, 4)]
+    sequential = evaluate_selections(
+        nl, config, selections, workers=1, snapshot=snapshot
+    )
+    return nl, config, snapshot, selections, sequential
+
+
+@pytest.mark.skipif(
+    not _fault_selected("actor-crash"), reason=f"{FAULT_ENV_VAR}={_FAULT_FILTER}"
+)
+@pytest.mark.parametrize("method", START_METHODS)
+class TestActorCrash:
+    def test_crashed_actor_is_respawned_and_task_retried(self, context, method):
+        nl, config, snapshot, selections, sequential = context
+        with DistributedEvaluator(
+            nl,
+            config,
+            actors=2,
+            snapshot=snapshot,
+            start_method=method,
+            fault_spec={(0, 0): "crash"},
+            **FAST,
+        ) as evaluator:
+            rewards = evaluator.evaluate(selections)
+            stats = evaluator.stats()
+        assert pickle.dumps(rewards) == pickle.dumps(sequential)
+        assert stats["actor_restarts"] >= 1
+        assert stats["actor_crashes"] >= 1
+
+    def test_corrupt_frame_is_retried(self, context, method):
+        """An actor shipping garbage instead of a reward payload: rejected
+        at decode, charged as corrupt, task retried elsewhere."""
+        nl, config, snapshot, selections, sequential = context
+        with DistributedEvaluator(
+            nl,
+            config,
+            actors=2,
+            snapshot=snapshot,
+            start_method=method,
+            fault_spec={(2, 0): "corrupt"},
+            **FAST,
+        ) as evaluator:
+            rewards = evaluator.evaluate(selections)
+            stats = evaluator.stats()
+        assert pickle.dumps(rewards) == pickle.dumps(sequential)
+        assert stats["corrupt_results"] >= 1
+
+    def test_exhausted_retries_degrade_to_sequential(self, context, method):
+        """A task that crashes its actor on every attempt is finished
+        in-process — results are always produced, never dropped."""
+        nl, config, snapshot, selections, sequential = context
+        faults = {(1, attempt): "crash" for attempt in range(10)}
+        with DistributedEvaluator(
+            nl,
+            config,
+            actors=2,
+            snapshot=snapshot,
+            start_method=method,
+            fault_spec=faults,
+            **FAST,
+        ) as evaluator:
+            rewards = evaluator.evaluate(selections)
+            stats = evaluator.stats()
+        assert pickle.dumps(rewards) == pickle.dumps(sequential)
+        assert stats["sequential_fallbacks"] >= 1
+        assert stats["actor_restarts"] >= 1
+
+
+@pytest.mark.skipif(
+    not _fault_selected("actor-hang"), reason=f"{FAULT_ENV_VAR}={_FAULT_FILTER}"
+)
+@pytest.mark.parametrize("method", START_METHODS)
+class TestActorHang:
+    def test_hung_actor_hits_deadline_and_task_is_retried(self, context, method):
+        nl, config, snapshot, selections, sequential = context
+        with DistributedEvaluator(
+            nl,
+            config,
+            actors=2,
+            snapshot=snapshot,
+            start_method=method,
+            fault_spec={(1, 0): "hang"},
+            **FAST,
+        ) as evaluator:
+            start = time.monotonic()
+            rewards = evaluator.evaluate(selections)
+            elapsed = time.monotonic() - start
+            stats = evaluator.stats()
+        assert pickle.dumps(rewards) == pickle.dumps(sequential)
+        assert stats["task_timeouts"] >= 1
+        assert elapsed < 30.0  # bounded by the deadline, never hung
+
+    def test_survivors_keep_serving_after_faulted_batch(self, context, method):
+        nl, config, snapshot, selections, sequential = context
+        with DistributedEvaluator(
+            nl,
+            config,
+            actors=2,
+            snapshot=snapshot,
+            start_method=method,
+            fault_spec={(0, 0): "hang"},
+            **FAST,
+        ) as evaluator:
+            first = evaluator.evaluate(selections)
+            second = evaluator.evaluate(selections)
+        blob = pickle.dumps(sequential)
+        assert pickle.dumps(first) == blob
+        assert pickle.dumps(second) == blob
+
+
+@pytest.mark.skipif(
+    not _fault_selected("actor-hang"), reason=f"{FAULT_ENV_VAR}={_FAULT_FILTER}"
+)
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+def test_heartbeat_detects_frozen_actor(context):
+    """A SIGSTOPped actor goes silent on the socket; the learner notices
+    via heartbeat age well before the (long) task deadline."""
+    nl, config, snapshot, selections, sequential = context
+    with DistributedEvaluator(
+        nl,
+        config,
+        actors=1,
+        snapshot=snapshot,
+        start_method="fork",
+        task_timeout=60.0,
+        heartbeat_timeout=1.0,
+        backoff_base=0.01,
+    ) as evaluator:
+        deadline = time.monotonic() + 10.0
+        while (
+            not any(a.ready for a in evaluator._slots)
+            and time.monotonic() < deadline
+        ):
+            evaluator._process_io(0.05)
+        victim = evaluator._slots[0].process
+        os.kill(victim.pid, signal.SIGSTOP)
+        try:
+            start = time.monotonic()
+            rewards = evaluator.evaluate(selections[:2])
+            elapsed = time.monotonic() - start
+            stats = evaluator.stats()
+        finally:
+            try:
+                os.kill(victim.pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+    assert pickle.dumps(rewards) == pickle.dumps(sequential[:2])
+    assert stats["actor_restarts"] >= 1
+    assert elapsed < 30.0  # heartbeat fired, not the 60s deadline
+
+
+@pytest.mark.skipif(
+    not _fault_selected("learner-restart"), reason=f"{FAULT_ENV_VAR}={_FAULT_FILTER}"
+)
+@pytest.mark.parametrize("method", START_METHODS)
+class TestLearnerRestart:
+    def test_restarted_learner_reproduces_history(self, context, method):
+        """Kill the whole learner (actors die with it), start a fresh one:
+        the reward stream picks up byte-identical — the weights-version
+        ordering holds state nowhere but the learner."""
+        nl, config, snapshot, selections, sequential = context
+        first_evaluator = DistributedEvaluator(
+            nl, config, actors=2, snapshot=snapshot, start_method=method, **FAST
+        )
+        try:
+            first = first_evaluator.evaluate(selections)
+            generation = [a.process for a in first_evaluator._slots]
+        finally:
+            first_evaluator.close()
+        # All first-generation actors must be gone with their learner.
+        for process in generation:
+            assert process is None or not process.is_alive()
+        with DistributedEvaluator(
+            nl, config, actors=2, snapshot=snapshot, start_method=method, **FAST
+        ) as evaluator:
+            second = evaluator.evaluate(selections)
+        blob = pickle.dumps(sequential)
+        assert pickle.dumps(first) == blob
+        assert pickle.dumps(second) == blob
+
+    def test_closed_learner_refuses_new_batches(self, context, method):
+        nl, config, snapshot, selections, sequential = context
+        evaluator = DistributedEvaluator(
+            nl, config, actors=1, snapshot=snapshot, start_method=method, **FAST
+        )
+        evaluator.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            evaluator.evaluate(selections[:1])

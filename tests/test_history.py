@@ -152,6 +152,17 @@ class TestEnforcedCheck:
         history = _history([{"fast": 1e-6}] * 4)
         assert history.check({"fast": {"median_s": 1.0}}) == []
 
+    def test_sub_ms_phases_get_absolute_grace(self):
+        # A 0.5 ms phase doubling is one scheduler preemption, not a
+        # regression: the absolute 1 ms grace keeps it green in both the
+        # MAD and the thin-history regimes.
+        history = _history([{"a": 0.0005}] * 3)
+        assert history.check({"a": {"median_s": 0.0014}}) == []
+        assert history.check({"a": {"median_s": 0.0016}}) != []
+        thin = _history([{"a": 0.0005}])
+        assert thin.check({"a": {"median_s": 0.0014}}) == []
+        assert thin.check({"a": {"median_s": 0.0016}}) != []
+
     def test_unknown_phase_skipped(self):
         history = _history([{"a": 0.1}] * 4)
         assert history.check({"brand_new": {"median_s": 10.0}}) == []

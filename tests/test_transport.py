@@ -1,0 +1,158 @@
+"""Unit tests for the length-prefixed frame transport.
+
+The transport is the only piece of the distributed actor–learner that
+touches raw sockets, so its contract is pinned here in isolation: exact
+float round-trips (the byte-identity foundation), timeout semantics,
+oversize protection, and thread-safe interleaving-free sends.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.agent.transport import (
+    CODEC_ENV_VAR,
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameListener,
+    available_codecs,
+    connect,
+    resolve_codec,
+)
+
+
+@pytest.fixture()
+def pair():
+    """A connected (client, server) FrameConnection pair over loopback."""
+    listener = FrameListener()
+    client = connect(listener.address)
+    server = listener.accept(timeout=5.0)
+    assert server is not None
+    yield client, server
+    client.close()
+    server.close()
+    listener.close()
+
+
+def test_json_round_trip_is_exact(pair):
+    client, server = pair
+    message = {
+        "kind": "result",
+        "floats": [0.1, -1.5e-17, 3.141592653589793, 1e308],
+        "ints": [0, -7, 2**53],
+        "nested": {"unicode": "端点-sélection", "none": None, "flag": True},
+    }
+    client.send(message)
+    received = server.recv(timeout=5.0)
+    assert received == message
+    # Exactness, not approximation: the reward determinism contract.
+    assert all(a == b for a, b in zip(received["floats"], message["floats"]))
+
+
+def test_many_frames_keep_order(pair):
+    client, server = pair
+    for i in range(200):
+        client.send({"seq": i})
+    assert [server.recv(timeout=5.0)["seq"] for _ in range(200)] == list(range(200))
+
+
+def test_recv_timeout_returns_none(pair):
+    client, server = pair
+    assert server.recv(timeout=0.05) is None
+
+
+def test_peer_close_raises_frame_error(pair):
+    client, server = pair
+    client.close()
+    with pytest.raises(FrameError):
+        server.recv(timeout=5.0)
+
+
+def test_send_on_closed_connection_raises(pair):
+    client, server = pair
+    client.close()
+    with pytest.raises(FrameError):
+        client.send({"kind": "x"})
+
+
+def test_oversized_announced_frame_rejected():
+    """A corrupt length prefix must fail fast, not allocate gigabytes."""
+    listener = FrameListener()
+    raw = socket.create_connection(listener.address, timeout=5.0)
+    server = listener.accept(timeout=5.0)
+    try:
+        raw.sendall(struct.pack("!BI", 0, MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError, match="oversized"):
+            server.recv(timeout=5.0)
+    finally:
+        raw.close()
+        server.close()
+        listener.close()
+
+
+def test_unknown_codec_tag_rejected():
+    listener = FrameListener()
+    raw = socket.create_connection(listener.address, timeout=5.0)
+    server = listener.accept(timeout=5.0)
+    try:
+        raw.sendall(struct.pack("!BI", 250, 2) + b"{}")
+        with pytest.raises(FrameError, match="codec tag"):
+            server.recv(timeout=5.0)
+    finally:
+        raw.close()
+        server.close()
+        listener.close()
+
+
+def test_concurrent_sends_never_interleave(pair):
+    """The actor's heartbeat thread shares the socket with the task loop;
+    frames from four threads must all arrive intact."""
+    client, server = pair
+    per_thread = 50
+
+    def sender(tag: int) -> None:
+        for i in range(per_thread):
+            client.send({"tag": tag, "i": i, "pad": "x" * 512})
+
+    threads = [threading.Thread(target=sender, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    seen = [server.recv(timeout=5.0) for _ in range(4 * per_thread)]
+    for t in threads:
+        t.join()
+    assert all(frame["pad"] == "x" * 512 for frame in seen)
+    by_tag = {tag: [f["i"] for f in seen if f["tag"] == tag] for tag in range(4)}
+    # Per-sender ordering survives even though the arrival order interleaves.
+    assert all(seq == list(range(per_thread)) for seq in by_tag.values())
+
+
+def test_resolve_codec_precedence(monkeypatch):
+    monkeypatch.delenv(CODEC_ENV_VAR, raising=False)
+    assert resolve_codec() == "json"
+    assert resolve_codec("json") == "json"
+    monkeypatch.setenv(CODEC_ENV_VAR, "json")
+    assert resolve_codec() == "json"
+    with pytest.raises(ValueError, match="unknown transport codec"):
+        resolve_codec("protobuf")
+
+
+def test_missing_msgpack_is_one_line_error():
+    """msgpack must never be imported speculatively; asking for it without
+    the package is a clean ValueError (the no-new-dependencies gate)."""
+    if "msgpack" in available_codecs():  # pragma: no cover — image-dependent
+        assert resolve_codec("msgpack") == "msgpack"
+    else:
+        with pytest.raises(ValueError, match="msgpack"):
+            resolve_codec("msgpack")
+
+
+def test_listener_reports_ephemeral_address():
+    listener = FrameListener()
+    host, port = listener.address
+    assert host == "127.0.0.1" and port > 0
+    listener.close()
+    assert listener.accept(timeout=0.0) is None
