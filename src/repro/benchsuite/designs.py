@@ -31,6 +31,12 @@ from repro.timing.sta import TimingAnalyzer
 
 DEFAULT_SCALE = 400
 
+# Above this cell count the O(n^2)-ish generate+place pipeline is replaced by
+# the vectorized scale-path generator (benchsuite.scale.fast_design), which
+# places inline.  The default BLOCKS at DEFAULT_SCALE stay well below it, so
+# the smoke bench is byte-identical to the historical pipeline.
+FAST_PATH_MIN_CELLS = 5_000
+
 
 def bench_scale() -> int:
     """Cell-count divisor: paper cells / scale = our cells (env-overridable)."""
@@ -128,8 +134,13 @@ def build_design(spec: DesignSpec) -> PreparedDesign:
     endpoints violate at the post-global-placement begin state, putting the
     design in the regime the paper's Table II "begin" columns describe.
     """
-    netlist = generate_design(spec.generator_config())
-    place_design(netlist, PlacementConfig(seed=spec.seed))
+    if spec.n_cells() >= FAST_PATH_MIN_CELLS:
+        from repro.benchsuite.scale import fast_design
+
+        netlist = fast_design(spec.generator_config())
+    else:
+        netlist = generate_design(spec.generator_config())
+        place_design(netlist, PlacementConfig(seed=spec.seed))
     analyzer = TimingAnalyzer(netlist)
     nominal = netlist.library.default_clock_period
     report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))

@@ -87,6 +87,22 @@ class FlowResult:
         return self.final.nve
 
 
+def _sta_flow_stats(counters_before: Mapping[str, float]) -> Dict[str, float]:
+    """Per-flow delta of the ``sta.*`` counters plus the frontier-peak gauge.
+
+    The recorder's counters are process-cumulative; the flow record wants
+    how much *this* run cost, so subtract the values captured at entry.
+    The gauge is a running max, reported as-is.
+    """
+    recorder = obs.get_recorder()
+    stats = {
+        name.split(".", 1)[1]: recorder.counters.get(name, 0.0) - before
+        for name, before in counters_before.items()
+    }
+    stats["frontier_peak"] = recorder.gauges.get("sta.frontier_peak", 0.0)
+    return stats
+
+
 def run_flow(
     netlist: Netlist,
     config: FlowConfig,
@@ -99,6 +115,16 @@ def run_flow(
     """
     watch = obs.Stopwatch()
     prioritized = [int(e) for e in prioritized_endpoints]
+    sta_counters = (
+        "sta.full_analyze",
+        "sta.incremental_analyze",
+        "sta.frontier_cells",
+        "sta.vectorized_levels",
+        "sta.scalar_levels",
+    )
+    counters_before = {
+        name: obs.get_recorder().counters.get(name, 0.0) for name in sta_counters
+    }
     with obs.span("flow.run", attrs={"prioritized": len(prioritized)}):
         analyzer = TimingAnalyzer(netlist, incremental=config.incremental_sta)
         clock = ClockModel.for_netlist(netlist, config.clock_period)
@@ -166,6 +192,7 @@ def run_flow(
                     "final_sta": sp_final.elapsed,
                 },
                 "runtime_seconds": runtime,
+                "sta": _sta_flow_stats(counters_before),
             },
         )
 

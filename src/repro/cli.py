@@ -191,6 +191,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the run over BENCH_baseline.json (or --out) with a "
         "provenance field, instead of hand-editing the baseline",
     )
+    bench.add_argument(
+        "--scale-sweep",
+        action="store_true",
+        help="additionally run the 10K-200K-cell STA scale sweep; per-cell "
+        "costs land under the payload's 'scale' key and enter the "
+        "median+MAD gate as section.scale.* pseudo-phases",
+    )
+    bench.add_argument(
+        "--scale-cells",
+        default="10000,50000,200000",
+        metavar="N,N,...",
+        help="comma-separated design sizes for --scale-sweep "
+        "(default 10000,50000,200000)",
+    )
 
     train = sub.add_parser(
         "train",
@@ -435,6 +449,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.benchsuite.report import format_bench
         from repro.obs.bench import (
             BenchConfig,
+            ScaleSweepConfig,
             compare_bench,
             default_output_name,
             load_bench,
@@ -463,6 +478,17 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
             return 2
 
+        scale_config = None
+        if args.scale_sweep:
+            try:
+                sizes = tuple(
+                    int(field) for field in args.scale_cells.split(",") if field.strip()
+                )
+                scale_config = ScaleSweepConfig(seed=args.seed, cells=sizes)
+            except ValueError as exc:
+                print(f"error: bad --scale-cells: {exc}", file=sys.stderr)
+                return 2
+
         payload = run_bench(
             BenchConfig(
                 seed=args.seed,
@@ -471,7 +497,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 rollout_workers=args.workers,
                 batch_episodes=args.batch_episodes,
                 distributed_actors=args.actors,
-            )
+            ),
+            scale_config=scale_config,
         )
         if args.update_baseline:
             out = args.out or "BENCH_baseline.json"

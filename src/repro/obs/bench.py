@@ -28,6 +28,10 @@ then aggregates the recorder into the ``BENCH_<sha>.json`` schema::
                          {"seconds", "tasks_per_second", "speedup"},
                      "cache_service": {"hits", "misses", "puts",
                                        "evictions", "entries"}},
+     "scale": {"seed", "rounds",            # --scale-sweep runs only
+               "designs": {"10k"/...: {"cells", "endpoints", ...,
+                                       "speedup", "peak_mb",
+                                       "per_kcell": {...}}}},
      "total_seconds": <wall>}
 
 ``metrics``/``counters``/``design`` are deterministic for a fixed seed;
@@ -46,7 +50,7 @@ import os
 import platform
 import statistics
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -85,7 +89,10 @@ class BenchConfig:
         if self.episodes < 1:
             raise ValueError("episodes must be >= 1")
         if self.cells < 50:
-            raise ValueError("cells must be >= 50 for a meaningful workload")
+            raise ValueError(
+                f"cells={self.cells} is below the minimum of 50 needed "
+                "for a meaningful workload"
+            )
         if self.rollout_workers < 1:
             raise ValueError("rollout_workers must be >= 1")
         if self.rollout_tasks < 1:
@@ -94,6 +101,185 @@ class BenchConfig:
             raise ValueError("batch_episodes must be >= 2")
         if self.distributed_actors < 0:
             raise ValueError("distributed_actors must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScaleSweepConfig:
+    """Knobs for the 10K–200K-cell STA scale sweep (``--scale-sweep``).
+
+    Each size builds a vectorized synthetic design
+    (:func:`repro.benchsuite.scale.fast_design`), times compile and full
+    analysis, then drives ``rounds`` of CCD-style mutation batches (cell
+    resizes plus useful-skew moves) through the incremental engine —
+    once with the vectorized frontier kernels and, up to
+    ``scalar_max_cells``, once with the scalar path forced — timing only
+    the ``analyze()`` calls so the ratio is the STA phase speedup.
+    """
+
+    seed: int = 0
+    cells: Tuple[int, ...] = (10_000, 50_000, 200_000)
+    #: Mutation rounds per engine pass; each round resizes
+    #: ``resizes_per_round`` cells and moves ``max(32, n // 100)`` flops.
+    rounds: int = 3
+    resizes_per_round: int = 64
+    #: The scalar reference pass is skipped above this size — it is the
+    #: slow path being measured against, and at 200K cells it would
+    #: dominate the sweep's wall time for no extra information.
+    scalar_max_cells: int = 50_000
+    violating_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError("scale sweep needs at least one design size")
+        bad = [n for n in self.cells if n < 1_000]
+        if bad:
+            raise ValueError(
+                f"scale-sweep sizes must be >= 1000 cells, got {bad}"
+            )
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.resizes_per_round < 1:
+            raise ValueError("resizes_per_round must be >= 1")
+
+
+def scale_label(n_cells: int) -> str:
+    """``section.scale.*`` label for a design size (``10000`` → ``"10k"``)."""
+    if n_cells % 1_000 == 0:
+        return f"{n_cells // 1_000}k"
+    return str(n_cells)
+
+
+def run_scale_sweep(config: ScaleSweepConfig = ScaleSweepConfig()) -> Dict[str, Any]:
+    """Run the STA scale sweep; returns the ``"scale"`` payload section.
+
+    Per design size the entry records absolute seconds (build, timing
+    compile, full analyze, incremental/scalar mutation passes), the
+    process peak RSS after the size finished, and a ``per_kcell`` table —
+    the same costs normalized to seconds per 1000 cells.  The normalized
+    values are what :func:`repro.obs.history.section_medians` exposes as
+    ``section.scale.<label>.<metric>`` pseudo-phases for the nightly
+    median+MAD gate: per-cell cost is the quantity that must stay flat as
+    designs grow, and normalization keeps every metric above the gate's
+    :data:`MIN_COMPARABLE_SECONDS` floor at every size.
+
+    Wall-clock only — :func:`strip_timing` drops the section.
+    """
+    from repro.benchsuite.scale import fast_design
+    from repro.netlist.generator import GeneratorConfig
+    from repro.timing import incremental as sta_incremental
+    from repro.timing.clock import ClockModel
+    from repro.timing.metrics import choose_clock_period
+    from repro.timing.sta import TimingAnalyzer, peak_rss_mb
+
+    watch = obs.Stopwatch()
+    designs: Dict[str, Any] = {}
+    for n in config.cells:
+        label = scale_label(n)
+        gen = GeneratorConfig(
+            name=f"scale_{label}",
+            n_cells=n,
+            n_inputs=max(8, n // 40),
+            n_outputs=max(6, n // 60),
+            seed=config.seed,
+        )
+
+        watch.restart()
+        netlist = fast_design(gen)
+        build_s = watch.elapsed
+
+        watch.restart()
+        analyzer = TimingAnalyzer(netlist, incremental=False)
+        compiled = analyzer.compiled_for("typ")
+        compile_s = watch.elapsed
+
+        nominal = netlist.library.default_clock_period
+        watch.restart()
+        report = analyzer.analyze(ClockModel.for_netlist(netlist, nominal))
+        full_analyze_s = watch.elapsed
+        period = choose_clock_period(report, nominal, config.violating_fraction)
+
+        def _mutation_pass(design, threshold: int) -> float:
+            """Seeded mutation rounds; returns summed ``analyze()`` seconds."""
+            previous = sta_incremental.set_vector_threshold(threshold)
+            try:
+                rng = np.random.default_rng(config.seed + n)
+                clock = ClockModel.for_netlist(design, period)
+                sweep_analyzer = TimingAnalyzer(design, incremental=True)
+                sweep_analyzer.analyze(clock)
+                comb = [
+                    c.index
+                    for c in design.cells
+                    if not c.cell_type.is_port and not c.is_sequential
+                ]
+                flops = design.sequential_cells()
+                pass_watch = obs.Stopwatch()
+                analyze_s = 0.0
+                for _ in range(config.rounds):
+                    resized = rng.choice(
+                        comb, size=min(config.resizes_per_round, len(comb)),
+                        replace=False,
+                    )
+                    for c in resized:
+                        cell = design.cells[int(c)]
+                        design.resize_cell(
+                            cell.index,
+                            int(rng.integers(0, cell.cell_type.max_size_index + 1)),
+                        )
+                        sweep_analyzer.notify_resize(cell.index)
+                    moved = rng.choice(
+                        flops, size=min(max(32, n // 100), len(flops)),
+                        replace=False,
+                    )
+                    for f in moved:
+                        f = int(f)
+                        room = clock.bound(f) - clock.arrival(f)
+                        if room > 1e-9:
+                            clock.adjust_arrival(f, float(rng.uniform(0.0, room)))
+                    sweep_analyzer.notify_skew(int(f) for f in moved)
+                    pass_watch.restart()
+                    sweep_analyzer.analyze(clock)
+                    analyze_s += pass_watch.elapsed
+                return analyze_s
+            finally:
+                sta_incremental.set_vector_threshold(previous)
+
+        incremental_s = _mutation_pass(
+            netlist, sta_incremental.DEFAULT_VEC_THRESHOLD
+        )
+        scalar_s: Optional[float] = None
+        if n <= config.scalar_max_cells:
+            # Fresh identical design: the vectorized pass mutated sizes and
+            # skews, and the scalar reference must replay the same schedule
+            # from the same start state.
+            scalar_s = _mutation_pass(fast_design(gen), 1 << 30)
+
+        designs[label] = {
+            "cells": n,
+            "endpoints": int(compiled.endpoint_cells.size),
+            "clock_period": period,
+            "build_s": build_s,
+            "compile_s": compile_s,
+            "full_analyze_s": full_analyze_s,
+            "incremental_s": incremental_s,
+            "scalar_s": scalar_s,
+            "speedup": (
+                scalar_s / incremental_s
+                if scalar_s is not None and incremental_s > 0
+                else None
+            ),
+            "peak_mb": peak_rss_mb(),
+            "per_kcell": {
+                "build": build_s / (n / 1_000),
+                "compile": compile_s / (n / 1_000),
+                "full_analyze": full_analyze_s / (n / 1_000),
+                "incremental": incremental_s / (n / 1_000),
+            },
+        }
+    return {
+        "seed": config.seed,
+        "rounds": config.rounds,
+        "designs": designs,
+    }
 
 
 @dataclass
@@ -161,11 +347,18 @@ def build_workload(
     )
 
 
-def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
+def run_bench(
+    config: BenchConfig = BenchConfig(),
+    scale_config: Optional[ScaleSweepConfig] = None,
+) -> Dict[str, Any]:
     """Run the smoke workload and return the BENCH payload (see module doc).
 
     Enables the recorder for the duration (restoring the previous flag) and
-    starts from a clean slate so two calls in one process agree.
+    starts from a clean slate so two calls in one process agree.  When
+    ``scale_config`` is given the 10K–200K STA scale sweep runs too and its
+    results land under the payload's ``"scale"`` key; the sweep runs after
+    the smoke counters are snapshotted, so the deterministic sections of the
+    payload are identical with and without it.
     """
     from repro.agent.reinforce import TrainConfig, train_rlccd
     from repro.ccd.flow import restore_netlist_state, run_flow
@@ -205,6 +398,9 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         obs_compare = _compare_trace_overhead(workload)
 
         state = obs.get_recorder().export_state()
+        scale_section = (
+            run_scale_sweep(scale_config) if scale_config is not None else None
+        )
         total = watch.elapsed
     finally:
         if not was_enabled:
@@ -240,6 +436,7 @@ def run_bench(config: BenchConfig = BenchConfig()) -> Dict[str, Any]:
         "batch": batch_compare,
         "distributed": distributed_compare,
         "obs": obs_compare,
+        "scale": scale_section,
         "total_seconds": total,
         "host": {
             "python": platform.python_version(),
@@ -869,6 +1066,7 @@ def strip_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
             "batch",
             "distributed",
             "obs",
+            "scale",
             "total_seconds",
             "host",
             "git_sha",

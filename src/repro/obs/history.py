@@ -105,6 +105,14 @@ def section_medians(payload: Mapping[str, Any]) -> Dict[str, float]:
     overhead = (payload.get("obs") or {}).get("trace_overhead_s")
     if overhead is not None:
         out["section.obs.trace_overhead"] = float(overhead)
+    # STA scale sweep (PR 10): per-kilocell costs at each design size, so
+    # the gate catches a per-cell cost regression that only shows at scale.
+    # Normalized seconds keep every size's metrics above the gate's
+    # MIN_COMPARABLE_SECONDS floor.
+    scale = payload.get("scale") or {}
+    for label, entry in sorted((scale.get("designs") or {}).items()):
+        for metric, seconds in sorted((entry.get("per_kcell") or {}).items()):
+            out[f"section.scale.{label}.{metric}"] = float(seconds)
     return out
 
 

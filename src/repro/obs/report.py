@@ -101,6 +101,7 @@ def render_report(
         lines.extend(_render_rollout(rollouts))
     if flows:
         lines.extend(_render_flow_phases(flows, history, last_n))
+        lines.extend(_render_sta_frontier(flows))
     if spans:
         lines.extend(_render_slowest_spans(spans))
     if profiles:
@@ -307,6 +308,34 @@ def _render_flow_phases(
                     f"| {status} |"
                 )
         lines.append(row)
+    lines.append("")
+    return lines
+
+
+def _render_sta_frontier(flows: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Incremental-STA engine health from flow records carrying ``sta``
+    counter deltas: how much of the work ran through the vectorized
+    frontier kernels versus the scalar fallback, and how large the dirty
+    frontier got."""
+    stats = [record["sta"] for record in flows if record.get("sta")]
+    if not stats:
+        return []
+    lines = ["## STA frontier", ""]
+    lines.append(
+        "| flow | full | incremental | frontier cells | vectorized levels "
+        "| scalar levels | peak frontier |"
+    )
+    lines.append("|---:|---:|---:|---:|---:|---:|---:|")
+    for index, sta in enumerate(stats):
+        lines.append(
+            f"| {index} "
+            f"| {int(sta.get('full_analyze', 0))} "
+            f"| {int(sta.get('incremental_analyze', 0))} "
+            f"| {int(sta.get('frontier_cells', 0))} "
+            f"| {int(sta.get('vectorized_levels', 0))} "
+            f"| {int(sta.get('scalar_levels', 0))} "
+            f"| {int(sta.get('frontier_peak', 0))} |"
+        )
     lines.append("")
     return lines
 

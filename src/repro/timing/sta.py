@@ -40,9 +40,55 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 _NO_DRIVER = -1
 
 
+def csr_edge_indices(indptr: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    """Flattened CSR edge indices of ``cells`` (their row slices, in order).
+
+    The standard repeat/cumsum gather: for each cell the slice
+    ``indptr[c]:indptr[c+1]``, concatenated, without a Python loop.  Shared
+    by levelization and the vectorized frontier kernels.
+    """
+    counts = indptr[cells + 1] - indptr[cells]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
+    return np.repeat(indptr[cells] - offsets, counts) + np.arange(
+        total, dtype=np.int64
+    )
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process in MiB (0.0 if unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are close
+    enough for the coarse ``sta.peak_mb`` capacity gauges (the scale-sweep
+    CI bound allows a wide margin).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0.0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        return usage / (1024.0 * 1024.0)
+    return usage / 1024.0
+
+
 @dataclass
 class CompiledTiming:
-    """Array form of the netlist's timing graph (rebuilt after mutations)."""
+    """Array form of the netlist's timing graph (rebuilt after mutations).
+
+    Besides the dense ``(n, max_pins)`` fanin layout (pin counts are bounded
+    by the library, so the pad is small), the compile also emits a CSR
+    fanout adjacency (``fanout_indptr``/``fanout_indices``/
+    ``fanout_wire_delay``, the PR-5 cone-CSR pattern) plus per-cell level
+    and endpoint-position maps — the layout the vectorized frontier kernels
+    in :mod:`repro.timing.incremental` gather over.  Resizes never change
+    topology or wire lengths, so :meth:`TimingAnalyzer.notify_resize` leaves
+    all of these untouched.
+    """
 
     netlist: Netlist
     levels: List[np.ndarray]  # cells per topological level
@@ -57,10 +103,18 @@ class CompiledTiming:
     is_flop: np.ndarray
     is_inport: np.ndarray
     is_outport: np.ndarray
+    is_src: np.ndarray  # flop or input port (launch points)
+    is_comb: np.ndarray  # propagates required upstream
+    is_ep: np.ndarray  # flop or output port (capture points)
     clk_to_q: np.ndarray
     setup: np.ndarray
     hold: np.ndarray
     endpoint_cells: np.ndarray  # endpoint cell indices, canonical order
+    level_of: np.ndarray  # (n,) topological level per cell
+    ep_pos: np.ndarray  # (n,) endpoint position per cell, -1 elsewhere
+    fanout_indptr: np.ndarray  # (n+1,) CSR row pointers over fanout edges
+    fanout_indices: np.ndarray  # (E,) sink cell per fanout edge
+    fanout_wire_delay: np.ndarray  # (E,) wire delay at the sink's pin
     derate: float = 1.0
 
 
@@ -228,6 +282,7 @@ class TimingAnalyzer:
                 self._compiled[corner] = compile_timing(
                     self.netlist, derate=self.corners[corner]
                 )
+            obs.gauge("sta.peak_mb.compile", peak_rss_mb())
         return self._compiled[corner]
 
     def analyze(
@@ -272,7 +327,9 @@ class TimingAnalyzer:
             # happens before the next incremental call.
             with obs.span("sta.full_update"):
                 obs.incr("sta.full_analyze")
-                return analyze(compiled, clock, margins, include_hold=include_hold)
+                report = analyze(compiled, clock, margins, include_hold=include_hold)
+            obs.gauge("sta.peak_mb.analyze", peak_rss_mb())
+            return report
 
         if (
             state is None
@@ -283,12 +340,20 @@ class TimingAnalyzer:
                 obs.incr("sta.full_analyze")
                 report, state = inc.build_state(compiled, clock, margins)
                 self._states[corner] = state
-                return report
+            obs.gauge("sta.peak_mb.analyze", peak_rss_mb())
+            return report
 
         with obs.span("sta.incremental_analyze"):
             obs.incr("sta.incremental_analyze")
             report, frontier = inc.incremental_analyze(state, clock, margins)
             obs.incr("sta.frontier_cells", frontier)
+        if obs.enabled():
+            obs.gauge("sta.peak_mb.analyze", peak_rss_mb())
+            # Running high-water mark of the incremental frontier (gauges
+            # are last-value-wins, so keep the max explicitly).
+            peak = obs.get_recorder().gauges.get("sta.frontier_peak")
+            if peak is None or frontier > peak:
+                obs.gauge("sta.frontier_peak", frontier)
         if inc.check_enabled():
             with obs.span("sta.shadow_check"):
                 obs.incr("sta.shadow_checks")
@@ -357,8 +422,27 @@ def compile_timing(netlist: Netlist, derate: float = 1.0) -> CompiledTiming:
         if cell.fanout_net is not None:
             load_cap[cell.index] = netlist.net_load_cap(cell.fanout_net)
 
-    levels = _levelize(netlist, fanin_idx, is_flop, is_inport)
+    # CSR fanout adjacency from the dense fanin layout: one edge per valid
+    # (sink, pin), grouped by driver via a stable argsort so each driver's
+    # edge slice preserves (sink, pin) order deterministically.
+    sink_rows, sink_pins = np.nonzero(fanin_idx != _NO_DRIVER)
+    edge_drivers = fanin_idx[sink_rows, sink_pins]
+    order = np.argsort(edge_drivers, kind="stable")
+    fanout_indices = sink_rows[order].astype(np.int64, copy=False)
+    fanout_wire = fanin_wire[sink_rows, sink_pins][order]
+    fanout_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(edge_drivers, minlength=n), out=fanout_indptr[1:])
+
+    levels = _levelize(n, sink_rows, edge_drivers, is_flop, is_inport)
+    level_of = np.zeros(n, dtype=np.int64)
+    for k, level_cells in enumerate(levels):
+        level_of[level_cells] = k
+
     endpoint_cells = np.array(netlist.endpoints(), dtype=np.int64)
+    ep_pos = np.full(n, -1, dtype=np.int64)
+    ep_pos[endpoint_cells] = np.arange(endpoint_cells.size, dtype=np.int64)
+
+    is_src = is_flop | is_inport
     return CompiledTiming(
         netlist=netlist,
         levels=levels,
@@ -373,17 +457,26 @@ def compile_timing(netlist: Netlist, derate: float = 1.0) -> CompiledTiming:
         is_flop=is_flop,
         is_inport=is_inport,
         is_outport=is_outport,
+        is_src=is_src,
+        is_comb=~(is_src | is_outport),
+        is_ep=is_flop | is_outport,
         clk_to_q=clk_to_q,
         setup=setup,
         hold=hold,
         endpoint_cells=endpoint_cells,
+        level_of=level_of,
+        ep_pos=ep_pos,
+        fanout_indptr=fanout_indptr,
+        fanout_indices=fanout_indices,
+        fanout_wire_delay=fanout_wire,
         derate=derate,
     )
 
 
 def _levelize(
-    netlist: Netlist,
-    fanin_idx: np.ndarray,
+    n: int,
+    edge_sinks: np.ndarray,
+    edge_drivers: np.ndarray,
     is_flop: np.ndarray,
     is_inport: np.ndarray,
 ) -> List[np.ndarray]:
@@ -391,44 +484,45 @@ def _levelize(
 
     Level 0 holds all launch points (flops, input ports); a combinational
     cell's level is 1 + max of its drivers' levels (flop drivers count as 0).
-    """
-    n = len(netlist.cells)
-    level = np.zeros(n, dtype=np.int64)
-    # Kahn over combinational dependency edges: cell v depends on driver u
-    # unless u is sequential or an input port (those are timing sources).
-    # Flops themselves are also sources — their *output* arrival depends only
-    # on the clock, never on their D input (the D-side setup check reads the
-    # driver arrivals directly) — so no dependency edges point INTO a flop.
-    indegree = np.zeros(n, dtype=np.int64)
-    fanout_lists: List[List[int]] = [[] for _ in range(n)]
-    for v in range(n):
-        if is_flop[v]:
-            continue
-        for u in fanin_idx[v]:
-            if u == _NO_DRIVER:
-                continue
-            if is_flop[u] or is_inport[u]:
-                continue
-            indegree[v] += 1
-            fanout_lists[u].append(v)
-    from collections import deque
 
-    queue = deque(int(v) for v in np.nonzero(indegree == 0)[0])
+    Wave-synchronous Kahn, fully vectorized: each wave releases every cell
+    whose last dependency just resolved, so a cell's wave number equals its
+    longest dependency-path length — identical to the scalar
+    ``level[v] = max(level[v], level[u] + 1)`` relaxation this replaces.
+    """
+    # Dependency edges: cell v depends on driver u unless u is sequential or
+    # an input port (those are timing sources).  Flops themselves are also
+    # sources — their *output* arrival depends only on the clock, never on
+    # their D input (the D-side setup check reads the driver arrivals
+    # directly) — so no dependency edges point INTO a flop.
+    dep = ~is_flop[edge_sinks] & ~(is_flop[edge_drivers] | is_inport[edge_drivers])
+    dep_sinks = edge_sinks[dep]
+    dep_drivers = edge_drivers[dep]
+    indegree = np.bincount(dep_sinks, minlength=n)
+    order = np.argsort(dep_drivers, kind="stable")
+    dep_sinks = dep_sinks[order].astype(np.int64, copy=False)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(dep_drivers, minlength=n), out=indptr[1:])
+
+    levels: List[np.ndarray] = []
+    current = np.nonzero(indegree == 0)[0]
     seen = 0
-    while queue:
-        u = queue.popleft()
-        seen += 1
-        for v in fanout_lists[u]:
-            level[v] = max(level[v], level[u] + 1)
-            indegree[v] -= 1
-            if indegree[v] == 0:
-                queue.append(v)
+    while current.size:
+        levels.append(current)
+        seen += current.size
+        released = dep_sinks[csr_edge_indices(indptr, current)]
+        if released.size == 0:
+            break
+        dec = np.bincount(released, minlength=n)
+        indegree -= dec
+        current = np.nonzero((indegree == 0) & (dec > 0))[0]
     if seen != n:
         raise ValueError(
             "timing graph contains a combinational cycle; run validate_netlist"
         )
-    max_level = int(level.max()) if n else 0
-    return [np.nonzero(level == k)[0] for k in range(max_level + 1)]
+    if not levels:
+        levels.append(np.zeros(0, dtype=np.int64))
+    return levels
 
 
 def analyze(
@@ -452,10 +546,12 @@ def analyze(
     slew = np.zeros(n)
     margins = dict(margins or {})
 
+    # Clock arrivals are sparse (only skewed flops carry an offset), so fill
+    # from the clock model's dict instead of probing all n cells.
     clock_arrival = np.zeros(n)
-    flop_indices = np.nonzero(compiled.is_flop)[0]
-    for f in flop_indices:
-        clock_arrival[f] = clock.arrival(int(f))
+    for f, value in clock.arrivals.items():
+        if compiled.is_flop[f]:
+            clock_arrival[f] = value
 
     # ---------------- forward propagation ---------------------------- #
     # Sources: input ports launch at 0, flops at clock + clk_to_q; both then
@@ -503,22 +599,30 @@ def analyze(
 
     # ---------------- endpoint checks --------------------------------- #
     eps = compiled.endpoint_cells
-    ep_arrival = np.zeros(eps.size)
-    ep_required = np.zeros(eps.size)
-    for k, e in enumerate(eps):
-        drivers = compiled.fanin_idx[e]
-        pin_arr = [
-            arrival[d] + compiled.fanin_wire_delay[e, p]
-            for p, d in enumerate(drivers)
-            if d != _NO_DRIVER
-        ]
-        ep_arrival[k] = max(pin_arr) if pin_arr else 0.0
-        if compiled.is_flop[e]:
-            ep_required[k] = clock.period + clock_arrival[e] - compiled.setup[e]
-        else:  # output port, virtual capture clock at period
-            ep_required[k] = clock.period
+    if eps.size:
+        ep_drivers = compiled.fanin_idx[eps]  # (m, pins)
+        valid = ep_drivers != _NO_DRIVER
+        drv = np.where(valid, ep_drivers, 0)
+        pin_arr = np.where(
+            valid, arrival[drv] + compiled.fanin_wire_delay[eps], -np.inf
+        )
+        ep_arrival = pin_arr.max(axis=1)
+        ep_arrival[~valid.any(axis=1)] = 0.0  # unconnected endpoint
+        # Flops capture at period + skew − setup; output ports against a
+        # virtual capture clock at period.
+        ep_required = np.where(
+            compiled.is_flop[eps],
+            clock.period + clock_arrival[eps] - compiled.setup[eps],
+            clock.period,
+        )
+    else:
+        ep_arrival = np.zeros(0)
+        ep_required = np.zeros(0)
     ep_slack = ep_required - ep_arrival
-    ep_margin = np.array([float(margins.get(int(e), 0.0)) for e in eps])
+    if margins:
+        ep_margin = np.array([float(margins.get(int(e), 0.0)) for e in eps])
+    else:
+        ep_margin = np.zeros(eps.size)
 
     # ---------------- backward required propagation ------------------- #
     # Two views: *true* required times (real timing state) and, when margins

@@ -21,6 +21,7 @@ import pytest
 from repro.ccd.flow import FlowConfig, run_flow
 from repro.netlist.generator import quick_design
 from repro.placement import PlacementConfig, place_design
+from repro.timing import incremental as incr
 from repro.timing.clock import ClockModel
 from repro.timing.metrics import choose_clock_period
 from repro.timing.sta import TimingAnalyzer
@@ -146,6 +147,129 @@ def test_unnotified_resize_cannot_be_read_stale():
     # Un-notified path: the version guard must force a recompile.
     netlist.resize_cell(target.index, 0)
     _assert_matches_full(netlist, analyzer, clock, None, "un-notified resize")
+
+
+def _mutation_trace(seed: int, threshold: int, steps: int = 12):
+    """Run the fuzz mutation sequence at one vector threshold; returns the
+    per-step report field arrays (copies) for cross-threshold comparison."""
+    netlist, clock = _build(seed)
+    analyzer = TimingAnalyzer(netlist, incremental=True)
+    margins = {}
+    rng = np.random.default_rng(seed)
+    prev = incr.set_vector_threshold(threshold)
+    try:
+        reports = [analyzer.analyze(clock, margins)]
+        for step in range(steps):
+            margins = _random_mutation(rng, netlist, analyzer, clock, margins)
+            if step == steps // 2:
+                # Forced fallback mid-sequence: the full-recompute path must
+                # rebuild state the kernels then extend, at any threshold.
+                analyzer.invalidate()
+            reports.append(analyzer.analyze(clock, margins))
+    finally:
+        incr.set_vector_threshold(prev)
+    return [
+        {name: np.array(getattr(r, name), copy=True) for name in FIELDS}
+        for r in reports
+    ]
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_fuzz_vectorized_byte_identical_to_scalar(seed):
+    """The density switch must be invisible: forcing every frontier batch
+    through the vectorized kernels (threshold 0) and forcing every batch
+    through the scalar path (huge threshold) must produce *byte-identical*
+    reports at every step of the mutation sequence."""
+    scalar = _mutation_trace(seed, threshold=1 << 30)
+    vector = _mutation_trace(seed, threshold=0)
+    assert len(scalar) == len(vector)
+    for step, (s, v) in enumerate(zip(scalar, vector)):
+        for name in FIELDS:
+            assert np.array_equal(s[name], v[name], equal_nan=True), (
+                f"seed {seed} step {step}: field {name} differs between "
+                "scalar and vectorized frontier kernels"
+            )
+
+
+@pytest.mark.parametrize("threshold", (0, 1, 2, 4, incr.DEFAULT_VEC_THRESHOLD))
+def test_density_threshold_boundaries_match_full(threshold):
+    """Mixed scalar/vector batches around the density-switch boundary (tiny
+    thresholds make single-cell batches flip between paths) stay equal to
+    the from-scratch engine."""
+    netlist, clock = _build(seed=7)
+    analyzer = TimingAnalyzer(netlist, incremental=True)
+    margins = {}
+    rng = np.random.default_rng(7)
+    prev = incr.set_vector_threshold(threshold)
+    try:
+        _assert_matches_full(
+            netlist, analyzer, clock, margins, f"threshold {threshold} initial"
+        )
+        for step in range(8):
+            margins = _random_mutation(rng, netlist, analyzer, clock, margins)
+            _assert_matches_full(
+                netlist, analyzer, clock, margins, f"threshold {threshold} step {step}"
+            )
+    finally:
+        incr.set_vector_threshold(prev)
+
+
+def test_vectorized_byte_identical_at_10k_cells():
+    """Scale-path equivalence: at 10K cells (fast generator, always above
+    the density threshold) a resize+skew mutation burst yields byte-equal
+    reports from the scalar and vectorized kernels."""
+    from repro.benchsuite.scale import fast_design
+    from repro.netlist.generator import GeneratorConfig
+
+    def run(threshold: int):
+        netlist = fast_design(
+            GeneratorConfig(
+                name="scale10k", n_cells=10_000, seed=42, n_inputs=256, n_outputs=128
+            )
+        )
+        nominal = netlist.library.default_clock_period
+        clock = ClockModel.for_netlist(netlist, nominal)
+        analyzer = TimingAnalyzer(netlist, incremental=True)
+        rng = np.random.default_rng(42)
+        prev = incr.set_vector_threshold(threshold)
+        try:
+            analyzer.analyze(clock)
+            comb = np.array(
+                [
+                    c.index
+                    for c in netlist.cells
+                    if not c.cell_type.is_port and not c.is_sequential
+                ]
+            )
+            flops = np.asarray(netlist.sequential_cells())
+            for _ in range(3):
+                for i in rng.choice(comb, size=48, replace=False):
+                    cell = netlist.cells[int(i)]
+                    netlist.resize_cell(
+                        cell.index,
+                        int(rng.integers(0, cell.cell_type.max_size_index + 1)),
+                    )
+                    analyzer.notify_resize(cell.index)
+                moved = rng.choice(flops, size=64, replace=False)
+                for f in moved:
+                    f = int(f)
+                    room = clock.bound(f) - clock.arrival(f)
+                    if room > 1e-9:
+                        clock.adjust_arrival(f, float(rng.uniform(0.0, room)))
+                analyzer.notify_skew(int(f) for f in moved)
+                report = analyzer.analyze(clock)
+            return {
+                name: np.array(getattr(report, name), copy=True) for name in FIELDS
+            }
+        finally:
+            incr.set_vector_threshold(prev)
+
+    scalar = run(1 << 30)
+    vector = run(0)
+    for name in FIELDS:
+        assert np.array_equal(scalar[name], vector[name], equal_nan=True), (
+            f"10K-cell field {name} differs between scalar and vectorized paths"
+        )
 
 
 @pytest.mark.parametrize("seed", (3, 11))
